@@ -1,0 +1,126 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (quick-size variants; run cmd/warplda-bench for full size),
+// plus ablation benchmarks for the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+package warplda
+
+import (
+	"testing"
+
+	"warplda/internal/core"
+	"warplda/internal/exp"
+	"warplda/internal/sampler"
+)
+
+// benchExp runs one experiment per benchmark iteration. The reports are
+// the artifact; the benchmark time is the cost of regenerating them.
+func benchExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(id, exp.Options{Quick: true, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatalf("%s produced an empty report", id)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExp(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExp(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExp(b, "table4") }
+func BenchmarkFig4(b *testing.B)   { benchExp(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExp(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExp(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExp(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExp(b, "fig8") }
+func BenchmarkFig9a(b *testing.B)  { benchExp(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExp(b, "fig9b") }
+func BenchmarkFig9cd(b *testing.B) { benchExp(b, "fig9cd") }
+
+// --- Ablation benchmarks (DESIGN.md "design choices to ablate") ---
+
+func ablationCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	c, err := GenerateLDA(SyntheticConfig{
+		D: 600, V: 2000, K: 16, MeanLen: 80, Alpha: 0.1, Beta: 0.01, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchWarpOptions(b *testing.B, k int, opts core.Options) {
+	c := ablationCorpus(b)
+	cfg := sampler.PaperDefaults(k)
+	cfg.M = 2
+	w, err := core.NewWithOptions(c, cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Iterate() // warm-up
+	tokens := c.NumTokens()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Iterate()
+	}
+	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// Hash-table vs dense-array row counters (Section 5.4): at K=4096 with
+// short rows the hash table's O(min(K,2L)) clear beats the dense array.
+func BenchmarkAblationDenseCounter(b *testing.B) {
+	benchWarpOptions(b, 4096, core.Options{DenseThreshold: 1 << 30})
+}
+
+func BenchmarkAblationHashCounter(b *testing.B) {
+	benchWarpOptions(b, 4096, core.Options{ForceHash: true})
+}
+
+// Doc proposal: random positioning (paper's default) vs per-document
+// sparse alias table (both O(1) amortized; positioning skips the build).
+func BenchmarkAblationDocPositioning(b *testing.B) {
+	benchWarpOptions(b, 1024, core.Options{})
+}
+
+func BenchmarkAblationDocAlias(b *testing.B) {
+	benchWarpOptions(b, 1024, core.Options{DocProposalAlias: true})
+}
+
+// Word proposal alias: sparse over non-zero c_w (default) vs dense over
+// all K (O(K) per word).
+func BenchmarkAblationSparseAlias(b *testing.B) {
+	benchWarpOptions(b, 4096, core.Options{})
+}
+
+func BenchmarkAblationDenseAlias(b *testing.B) {
+	benchWarpOptions(b, 4096, core.Options{DisableSparseAlias: true})
+}
+
+// Sorted vs shuffled CSC entry order (Section 5.2's cache-line argument).
+func BenchmarkAblationSortedCSC(b *testing.B) {
+	benchWarpOptions(b, 1024, core.Options{})
+}
+
+func BenchmarkAblationShuffledCSC(b *testing.B) {
+	benchWarpOptions(b, 1024, core.Options{ShuffleTokens: true})
+}
+
+// End-to-end throughput of the public API's default sampler.
+func BenchmarkWarpLDATrainIteration(b *testing.B) {
+	c := ablationCorpus(b)
+	cfg := Defaults(64)
+	s, err := NewSampler(WarpLDA, c, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := c.NumTokens()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Iterate()
+	}
+	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}

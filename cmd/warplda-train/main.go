@@ -1,0 +1,99 @@
+// Command warplda-train trains an LDA model on a UCI bag-of-words corpus
+// with any of the repository's samplers and prints the convergence trace
+// and the top words of each topic.
+//
+// Usage:
+//
+//	warplda-train -corpus corpus.uci -topics 100 -iters 200
+//	warplda-train -corpus docword.nytimes.txt -vocab vocab.nytimes.txt \
+//	    -algo warplda -topics 1000 -m 2 -iters 300 -eval-every 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warplda"
+)
+
+func main() {
+	var (
+		corpusPath = flag.String("corpus", "", "UCI bag-of-words file (required)")
+		vocabPath  = flag.String("vocab", "", "optional vocabulary file (one word per line)")
+		algo       = flag.String("algo", warplda.WarpLDA, "sampler: warplda|cgs|sparselda|aliaslda|flda|lightlda")
+		topics     = flag.Int("topics", 100, "number of topics K")
+		m          = flag.Int("m", 2, "MH steps per token (MH-based samplers)")
+		iters      = flag.Int("iters", 100, "training iterations")
+		evalEvery  = flag.Int("eval-every", 10, "log-likelihood evaluation interval")
+		threads    = flag.Int("threads", 1, "worker threads (warplda only)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		topWords   = flag.Int("top-words", 10, "top words to print per topic")
+		maxTopics  = flag.Int("print-topics", 10, "number of topics to print")
+	)
+	flag.Parse()
+
+	if *corpusPath == "" {
+		fmt.Fprintln(os.Stderr, "warplda-train: -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := warplda.ReadUCI(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *vocabPath != "" {
+		vf, err := os.Open(*vocabPath)
+		if err != nil {
+			fatal(err)
+		}
+		vocab, err := warplda.ReadVocab(vf)
+		vf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if len(vocab) != c.V {
+			fatal(fmt.Errorf("vocab has %d words, corpus declares %d", len(vocab), c.V))
+		}
+		c.Vocab = vocab
+	}
+	fmt.Printf("corpus: %s\n", c.Stats())
+
+	cfg := warplda.Defaults(*topics)
+	cfg.M = *m
+	cfg.Seed = *seed
+	cfg.Threads = *threads
+	s, err := warplda.NewSampler(*algo, c, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := warplda.TrainSampler(s, c, cfg, *iters, *evalEvery)
+	for _, p := range run.Points {
+		fmt.Printf("iter %4d  logLik %.6e  time %8.2fs  %6.2f Mtoken/s\n",
+			p.Iter, p.LogLik, p.Elapsed.Seconds(), p.TokensSec/1e6)
+	}
+
+	model := warplda.Snapshot(c, s, cfg)
+	n := *maxTopics
+	if n > *topics {
+		n = *topics
+	}
+	for k := 0; k < n; k++ {
+		fmt.Printf("topic %3d:", k)
+		for _, w := range model.TopWords(k, *topWords) {
+			fmt.Printf(" %s", w)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
+	os.Exit(1)
+}

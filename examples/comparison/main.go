@@ -1,0 +1,40 @@
+// Comparison: run every sampler in the repository on one corpus and
+// print a convergence table — a user-sized version of the paper's
+// Figure 5 experiment, useful for picking an algorithm for your own
+// workload.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warplda"
+)
+
+func main() {
+	c, err := warplda.GenerateLDA(warplda.SyntheticConfig{
+		D: 800, V: 1000, K: 16, MeanLen: 80, Alpha: 0.1, Beta: 0.01, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %s\n", c.Stats())
+	fmt.Printf("%-10s %6s %14s %9s %10s\n", "sampler", "iter", "logLik", "time(s)", "Mtoken/s")
+
+	const iters, every = 30, 10
+	for _, name := range warplda.Algorithms {
+		cfg := warplda.Defaults(16)
+		cfg.M = 2
+		s, err := warplda.NewSampler(name, c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := warplda.TrainSampler(s, c, cfg, iters, every)
+		for _, p := range run.Points {
+			fmt.Printf("%-10s %6d %14.4e %9.3f %10.2f\n",
+				run.Sampler, p.Iter, p.LogLik, p.Elapsed.Seconds(), p.TokensSec/1e6)
+		}
+	}
+}

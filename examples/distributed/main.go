@@ -1,0 +1,50 @@
+// Distributed: train WarpLDA on the simulated cluster of the paper's
+// Section 5 and inspect the cost breakdown per iteration — load balance
+// of the greedy partitioner, alltoall volume, and the modeled iteration
+// time with compute/communication overlap.
+//
+// This example uses internal packages, which is possible because it
+// lives inside the module; it demonstrates the distributed substrate the
+// Figure 6 / Figure 9 experiments are built on.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warplda/internal/cluster"
+	"warplda/internal/corpus"
+	"warplda/internal/eval"
+	"warplda/internal/sampler"
+)
+
+func main() {
+	c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+		D: 2000, V: 2500, K: 20, MeanLen: 100, Alpha: 0.1, Beta: 0.01, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %s\n", c.Stats())
+
+	cfg := sampler.PaperDefaults(50)
+	cfg.M = 2
+	sim, err := cluster.New(c, cfg, cluster.Config{Workers: 16, Network: cluster.InfiniBand()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%4s %14s %12s %12s %12s %10s\n",
+		"iter", "logLik", "compute(s)", "comm(s)", "modeled(s)", "MB moved")
+	for it := 1; it <= 10; it++ {
+		st := sim.IterateStats()
+		ll := eval.LogJoint(c, sim.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+		fmt.Printf("%4d %14.4e %12.6f %12.6f %12.6f %10.2f\n",
+			it, ll, st.ComputeSeconds, st.CommSeconds, st.ModeledSeconds,
+			float64(st.BytesMoved)/1e6)
+	}
+	fmt.Printf("cumulative modeled time: %.4fs  (imbalance %.4f)\n",
+		sim.ModeledSeconds(), sim.IterateStats().Imbalance)
+}

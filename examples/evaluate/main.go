@@ -1,0 +1,61 @@
+// Evaluate: the model-selection workflow a practitioner runs — split a
+// corpus into train/test, train models at several topic counts, compare
+// held-out perplexity and topic coherence, then persist the winner to
+// disk and load it back.
+//
+//	go run ./examples/evaluate
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"warplda"
+)
+
+func main() {
+	c, err := warplda.GenerateLDA(warplda.SyntheticConfig{
+		D: 1500, V: 2500, K: 12, MeanLen: 100, Alpha: 0.1, Beta: 0.01, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := warplda.Split(c, 0.2, 7)
+	fmt.Printf("train: %s\ntest:  %s\n", train.Stats(), test.Stats())
+
+	fmt.Printf("%6s %18s %14s\n", "K", "held-out ppl", "coherence")
+	var best *warplda.Model
+	bestPpl := 0.0
+	for _, k := range []int{4, 12, 40} {
+		cfg := warplda.Defaults(k)
+		cfg.M = 2
+		model, err := warplda.Train(train, cfg, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppl := model.HeldOutPerplexity(test.Docs, 10, 3)
+		var coh float64
+		for t := 0; t < k; t++ {
+			coh += model.Coherence(train, t, 10)
+		}
+		coh /= float64(k)
+		fmt.Printf("%6d %18.1f %14.2f\n", k, ppl, coh)
+		if best == nil || ppl < bestPpl {
+			best, bestPpl = model, ppl
+		}
+	}
+
+	// Persist and reload the winner.
+	var buf bytes.Buffer
+	if _, err := best.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	loaded, err := warplda.ReadModel(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best model: K=%d, %d bytes on disk, reload ppl %.1f\n",
+		loaded.Cfg.K, size, loaded.HeldOutPerplexity(test.Docs, 10, 3))
+}

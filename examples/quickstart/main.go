@@ -1,0 +1,47 @@
+// Quickstart: generate a synthetic corpus, train WarpLDA with the
+// paper's default hyper-parameters, and inspect the learned topics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warplda"
+)
+
+func main() {
+	// A corpus drawn from the LDA generative process: 1000 documents,
+	// 2000 words, 10 underlying topics.
+	c, err := warplda.GenerateLDA(warplda.SyntheticConfig{
+		D: 1000, V: 2000, K: 10, MeanLen: 120, Alpha: 0.1, Beta: 0.01, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %s\n", c.Stats())
+
+	// Train: K topics, α=50/K, β=0.01, M=1 MH step per token.
+	cfg := warplda.Defaults(10)
+	model, err := warplda.Train(c, cfg, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: logLik %.4e\n", model.LogLik)
+
+	// Topics as their most probable words.
+	for k := 0; k < 5; k++ {
+		fmt.Printf("topic %d: %v\n", k, model.TopWords(k, 8))
+	}
+
+	// Fold in a document and read its topic mixture.
+	theta := model.DocTopics(c.Docs[0], 10, 7)
+	best, bestP := 0, 0.0
+	for k, p := range theta {
+		if p > bestP {
+			best, bestP = k, p
+		}
+	}
+	fmt.Printf("document 0: dominant topic %d (p=%.2f)\n", best, bestP)
+}

@@ -1,0 +1,177 @@
+// Package alias implements Walker's alias method (Walker 1977) for O(1)
+// sampling from a discrete distribution after O(K) construction.
+//
+// WarpLDA and the LightLDA/AliasLDA baselines use alias tables to draw
+// from the word proposal q(z=k) ∝ Cwk (+ β). The table is built once per
+// word visit and then queried M times per token, so both construction and
+// query are on the hot path. The implementation uses the two-stack
+// construction and stores the outcome pair per bin in a single struct to
+// keep each draw to one cache line.
+package alias
+
+import "warplda/internal/rng"
+
+// Table is an alias table over outcomes 0..K-1. The zero value is an empty
+// table; use Build or New to populate it. Tables may be reused across
+// Build calls to avoid allocation.
+type Table struct {
+	// prob[i] is the threshold in [0,1]: with probability prob[i] bin i
+	// yields outcome first[i], otherwise outcome second[i].
+	prob   []float64
+	first  []int32
+	second []int32
+	// scratch stacks reused across builds.
+	small, large []int32
+}
+
+// New builds a table for the given unnormalized weights.
+func New(weights []float64) *Table {
+	t := &Table{}
+	t.Build(weights)
+	return t
+}
+
+// K returns the number of outcomes in the table.
+func (t *Table) K() int { return len(t.prob) }
+
+// Build (re)constructs the table from unnormalized weights. Negative
+// weights are treated as zero. If all weights are zero the table yields a
+// uniform distribution. Build is O(len(weights)) and reuses the table's
+// backing storage.
+func (t *Table) Build(weights []float64) {
+	k := len(weights)
+	if k == 0 {
+		panic("alias: Build with empty weights")
+	}
+	t.prob = grow(t.prob, k)
+	t.first = growI(t.first, k)
+	t.second = growI(t.second, k)
+	t.small = t.small[:0]
+	t.large = t.large[:0]
+
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		// Degenerate: uniform.
+		for i := 0; i < k; i++ {
+			t.prob[i] = 1
+			t.first[i] = int32(i)
+			t.second[i] = int32(i)
+		}
+		return
+	}
+
+	// Scale weights so the average bin holds mass exactly 1.
+	scale := float64(k) / total
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		p := w * scale
+		t.prob[i] = p
+		if p < 1 {
+			t.small = append(t.small, int32(i))
+		} else {
+			t.large = append(t.large, int32(i))
+		}
+	}
+
+	for len(t.small) > 0 && len(t.large) > 0 {
+		s := t.small[len(t.small)-1]
+		t.small = t.small[:len(t.small)-1]
+		l := t.large[len(t.large)-1]
+
+		t.first[s] = s
+		t.second[s] = l
+		// Bin s is settled; l donates 1-prob[s] mass to it.
+		t.prob[l] -= 1 - t.prob[s]
+		if t.prob[l] < 1 {
+			t.large = t.large[:len(t.large)-1]
+			t.small = append(t.small, l)
+		}
+	}
+	// Leftovers are numerically == 1.
+	for _, i := range t.large {
+		t.prob[i] = 1
+		t.first[i] = i
+		t.second[i] = i
+	}
+	for _, i := range t.small {
+		t.prob[i] = 1
+		t.first[i] = i
+		t.second[i] = i
+	}
+	t.small = t.small[:0]
+	t.large = t.large[:0]
+}
+
+// BuildCounts is Build for integer weights plus a uniform smoothing term
+// added to every outcome. It avoids materializing a float slice on the
+// caller side: weight(i) = float64(counts[i]) + smooth.
+func (t *Table) BuildCounts(counts []int32, smooth float64) {
+	k := len(counts)
+	if k == 0 {
+		panic("alias: BuildCounts with empty counts")
+	}
+	// Reuse prob as the weight buffer; Build reads weights before writing
+	// prob entries it hasn't consumed yet, so pass a distinct slice.
+	w := make([]float64, k)
+	for i, c := range counts {
+		w[i] = float64(c) + smooth
+	}
+	t.Build(w)
+}
+
+// Draw samples an outcome in O(1) using two uniform draws from r.
+func (t *Table) Draw(r *rng.RNG) int {
+	i := r.Intn(len(t.prob))
+	if r.Float64() < t.prob[i] {
+		return int(t.first[i])
+	}
+	return int(t.second[i])
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// SparseTable is an alias table over an explicit outcome set: it samples
+// index i with probability ∝ weights[i] and returns outcomes[i]. WarpLDA
+// builds these over the non-zero entries of a sparse count row, so K here
+// is the number of distinct topics in the row, not the full topic count.
+type SparseTable struct {
+	inner    Table
+	outcomes []int32
+}
+
+// Build constructs the sparse table. outcomes and weights must have equal,
+// non-zero length. The outcomes slice is copied.
+func (s *SparseTable) Build(outcomes []int32, weights []float64) {
+	if len(outcomes) != len(weights) {
+		panic("alias: outcomes/weights length mismatch")
+	}
+	s.inner.Build(weights)
+	s.outcomes = append(s.outcomes[:0], outcomes...)
+}
+
+// K returns the number of outcomes.
+func (s *SparseTable) K() int { return len(s.outcomes) }
+
+// Draw samples an outcome in O(1).
+func (s *SparseTable) Draw(r *rng.RNG) int32 {
+	return s.outcomes[s.inner.Draw(r)]
+}

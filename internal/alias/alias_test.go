@@ -1,0 +1,236 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warplda/internal/rng"
+)
+
+// chiSquareOK draws n samples and checks empirical frequencies against the
+// normalized weights with a generous z-test per bucket.
+func chiSquareOK(t *testing.T, tab *Table, weights []float64, n int) {
+	t.Helper()
+	r := rng.New(99)
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		v := tab.Draw(r)
+		if v < 0 || v >= len(weights) {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		p := w / total
+		want := p * float64(n)
+		sd := math.Sqrt(float64(n) * p * (1 - p))
+		if math.Abs(float64(counts[i])-want) > 6*sd+3 {
+			t.Errorf("outcome %d: count %d, want ~%.1f (sd %.1f)", i, counts[i], want, sd)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	chiSquareOK(t, New(w), w, 40000)
+}
+
+func TestSkewed(t *testing.T) {
+	w := []float64{0.1, 10, 1, 5, 0.01, 3}
+	chiSquareOK(t, New(w), w, 60000)
+}
+
+func TestSingleOutcome(t *testing.T) {
+	tab := New([]float64{3.5})
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if tab.Draw(r) != 0 {
+			t.Fatal("single-outcome table drew nonzero")
+		}
+	}
+}
+
+func TestZeroWeightNeverDrawn(t *testing.T) {
+	w := []float64{0, 1, 0, 2, 0}
+	tab := New(w)
+	r := rng.New(2)
+	for i := 0; i < 50000; i++ {
+		v := tab.Draw(r)
+		if v == 0 || v == 2 || v == 4 {
+			t.Fatalf("drew zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestAllZeroFallsBackToUniform(t *testing.T) {
+	w := []float64{0, 0, 0}
+	tab := New(w)
+	r := rng.New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[tab.Draw(r)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("uniform fallback drew %d distinct outcomes, want 3", len(seen))
+	}
+}
+
+func TestNegativeTreatedAsZero(t *testing.T) {
+	w := []float64{-5, 1}
+	tab := New(w)
+	r := rng.New(4)
+	for i := 0; i < 10000; i++ {
+		if tab.Draw(r) == 0 {
+			t.Fatal("drew negative-weight outcome")
+		}
+	}
+}
+
+func TestRebuildReuses(t *testing.T) {
+	tab := New([]float64{1, 2, 3})
+	tab.Build([]float64{5, 1})
+	if tab.K() != 2 {
+		t.Fatalf("K after rebuild = %d, want 2", tab.K())
+	}
+	chiSquareOK(t, tab, []float64{5, 1}, 30000)
+}
+
+func TestBuildCounts(t *testing.T) {
+	counts := []int32{0, 3, 1}
+	tab := &Table{}
+	tab.BuildCounts(counts, 0.5)
+	w := []float64{0.5, 3.5, 1.5}
+	chiSquareOK(t, tab, w, 60000)
+}
+
+func TestBuildEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build(nil) did not panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestSparseTable(t *testing.T) {
+	var s SparseTable
+	s.Build([]int32{7, 42, 3}, []float64{1, 2, 1})
+	r := rng.New(5)
+	counts := map[int32]int{}
+	for i := 0; i < 40000; i++ {
+		counts[s.Draw(r)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("drew %d distinct outcomes, want 3", len(counts))
+	}
+	if counts[42] < counts[7] || counts[42] < counts[3] {
+		t.Fatalf("outcome 42 (weight 2) drawn less than weight-1 outcomes: %v", counts)
+	}
+}
+
+func TestSparseTableMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Build did not panic")
+		}
+	}()
+	var s SparseTable
+	s.Build([]int32{1}, []float64{1, 2})
+}
+
+// Property: the table always produces indices within range and, for a
+// distribution with a single heavy atom (>90% of mass), that atom is the
+// modal outcome.
+func TestHeavyAtomProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, heavyRaw uint8) bool {
+		k := int(kRaw%20) + 2
+		heavy := int(heavyRaw) % k
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = 0.01
+		}
+		w[heavy] = 10
+		tab := New(w)
+		r := rng.New(seed)
+		counts := make([]int, k)
+		for i := 0; i < 2000; i++ {
+			v := tab.Draw(r)
+			if v < 0 || v >= k {
+				return false
+			}
+			counts[v]++
+		}
+		mode := 0
+		for i, c := range counts {
+			if c > counts[mode] {
+				mode = i
+			}
+		}
+		return mode == heavy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total probability is conserved — every bin threshold is in
+// [0,1] and refers to valid outcomes after Build on random weights.
+func TestBuildInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%64) + 1
+		r := rng.New(seed)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = r.Float64() * 10
+		}
+		tab := New(w)
+		for i := 0; i < k; i++ {
+			if tab.prob[i] < 0 || tab.prob[i] > 1+1e-9 {
+				return false
+			}
+			if tab.first[i] < 0 || int(tab.first[i]) >= k {
+				return false
+			}
+			if tab.second[i] < 0 || int(tab.second[i]) >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild1024(b *testing.B) {
+	r := rng.New(1)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	tab := &Table{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Build(w)
+	}
+}
+
+func BenchmarkDraw(b *testing.B) {
+	r := rng.New(1)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	tab := New(w)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += tab.Draw(r)
+	}
+	_ = sink
+}

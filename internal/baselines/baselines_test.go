@@ -1,0 +1,263 @@
+package baselines
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"warplda/internal/corpus"
+	"warplda/internal/eval"
+	"warplda/internal/sampler"
+)
+
+func testCorpus(seed uint64) *corpus.Corpus {
+	c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+		D: 150, V: 200, K: 6, MeanLen: 40, Alpha: 0.08, Beta: 0.05, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func testCfg(k int) sampler.Config {
+	cfg := sampler.PaperDefaults(k)
+	cfg.M = 2
+	return cfg
+}
+
+// every constructor, behind one signature for table-driven tests.
+type consistencyChecker interface {
+	sampler.Sampler
+	check() error
+}
+
+func (g *CGS) check() error       { return g.checkConsistent() }
+func (s *SparseLDA) check() error { return s.checkConsistent() }
+func (a *AliasLDA) check() error  { return a.checkConsistent() }
+func (f *FPlusLDA) check() error  { return f.checkConsistent() }
+func (l *LightLDA) check() error  { return l.checkConsistent() }
+
+func allSamplers(t *testing.T, c *corpus.Corpus, cfg sampler.Config) map[string]consistencyChecker {
+	t.Helper()
+	out := map[string]consistencyChecker{}
+	if g, err := NewCGS(c, cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		out["cgs"] = g
+	}
+	if s, err := NewSparseLDA(c, cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		out["sparselda"] = s
+	}
+	if a, err := NewAliasLDA(c, cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		out["aliaslda"] = a
+	}
+	if f, err := NewFPlusLDA(c, cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		out["flda"] = f
+	}
+	if l, err := NewLightLDA(c, cfg, LightLDAOptions{}); err != nil {
+		t.Fatal(err)
+	} else {
+		out["lightlda"] = l
+	}
+	return out
+}
+
+func TestCountsStayConsistent(t *testing.T) {
+	c := testCorpus(1)
+	for name, s := range allSamplers(t, c, testCfg(6)) {
+		for it := 0; it < 3; it++ {
+			s.Iterate()
+			if err := s.check(); err != nil {
+				t.Errorf("%s iteration %d: %v", name, it, err)
+				break
+			}
+		}
+	}
+}
+
+func TestAssignmentsInRange(t *testing.T) {
+	c := testCorpus(2)
+	cfg := testCfg(6)
+	for name, s := range allSamplers(t, c, cfg) {
+		s.Iterate()
+		z := s.Assignments()
+		if len(z) != len(c.Docs) {
+			t.Fatalf("%s: wrong doc count", name)
+		}
+		for d := range z {
+			if len(z[d]) != len(c.Docs[d]) {
+				t.Fatalf("%s: doc %d length mismatch", name, d)
+			}
+			for _, k := range z[d] {
+				if k < 0 || int(k) >= cfg.K {
+					t.Fatalf("%s: topic %d out of range", name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestAllConverge(t *testing.T) {
+	c := testCorpus(3)
+	cfg := testCfg(6)
+	for name, s := range allSamplers(t, c, cfg) {
+		before := eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+		for i := 0; i < 15; i++ {
+			s.Iterate()
+		}
+		after := eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+		if after <= before {
+			t.Errorf("%s: log-likelihood %.1f -> %.1f (no improvement)", name, before, after)
+		}
+	}
+}
+
+// All samplers target (nearly) the same posterior: after enough burn-in
+// they should land in the same likelihood band. This is the paper's
+// Figure 5 column 1 claim — same final quality.
+func TestConvergeToSameBand(t *testing.T) {
+	c := testCorpus(4)
+	cfg := testCfg(6)
+	finals := map[string]float64{}
+	for name, s := range allSamplers(t, c, cfg) {
+		for i := 0; i < 40; i++ {
+			s.Iterate()
+		}
+		finals[name] = eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	}
+	ref := finals["cgs"]
+	for name, ll := range finals {
+		if math.Abs(ll-ref) > 0.02*math.Abs(ref) {
+			t.Errorf("%s final LL %.1f more than 2%% from CGS %.1f", name, ll, ref)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	c := testCorpus(5)
+	cfg := testCfg(6)
+	a := allSamplers(t, c, cfg)
+	b := allSamplers(t, c, cfg)
+	for name := range a {
+		a[name].Iterate()
+		b[name].Iterate()
+		if !reflect.DeepEqual(a[name].Assignments(), b[name].Assignments()) {
+			t.Errorf("%s: same seed, different trajectory", name)
+		}
+	}
+}
+
+func TestLightLDAVariantsConsistentAndConverge(t *testing.T) {
+	c := testCorpus(6)
+	cfg := testCfg(6)
+	variants := []LightLDAOptions{
+		{},
+		{DelayWordCounts: true},
+		{DelayWordCounts: true, DelayDocCounts: true},
+		{DelayWordCounts: true, DelayDocCounts: true, SimpleProposal: true},
+	}
+	names := map[string]bool{}
+	for _, opt := range variants {
+		l, err := NewLightLDA(c, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names[l.Name()] {
+			t.Fatalf("duplicate variant tag %q", l.Name())
+		}
+		names[l.Name()] = true
+		before := eval.LogJoint(c, l.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+		for i := 0; i < 15; i++ {
+			l.Iterate()
+			if err := l.checkConsistent(); err != nil {
+				t.Fatalf("%s: %v", l.Name(), err)
+			}
+		}
+		after := eval.LogJoint(c, l.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+		if after <= before {
+			t.Errorf("%s: no improvement %.1f -> %.1f", l.Name(), before, after)
+		}
+	}
+	for _, want := range []string{"LightLDA", "LightLDA+DW", "LightLDA+DW+DD", "LightLDA+DW+DD+SP"} {
+		if !names[want] {
+			t.Errorf("missing variant %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestSingleTokenDocsAndWords(t *testing.T) {
+	// Pathological corpus: singleton docs and hapax words.
+	c := &corpus.Corpus{V: 6, Docs: [][]int32{{0}, {1}, {2, 2}, {3, 4, 5}, {}}}
+	cfg := testCfg(3)
+	for name, s := range allSamplers(t, c, cfg) {
+		for i := 0; i < 5; i++ {
+			s.Iterate()
+			if err := s.check(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	c := testCorpus(7)
+	bad := sampler.Config{K: 0, Alpha: 1, Beta: 1}
+	if _, err := NewCGS(c, bad); err == nil {
+		t.Error("CGS accepted K=0")
+	}
+	if _, err := NewLightLDA(c, bad, LightLDAOptions{}); err == nil {
+		t.Error("LightLDA accepted K=0")
+	}
+}
+
+func TestStateCheckDetectsCorruption(t *testing.T) {
+	c := testCorpus(8)
+	g, err := NewCGS(c, testCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cd[0] += 5
+	if err := g.checkConsistent(); err == nil {
+		t.Fatal("corrupted cd not detected")
+	}
+}
+
+func TestRemovePanicsBelowZero(t *testing.T) {
+	c := &corpus.Corpus{V: 2, Docs: [][]int32{{0}}}
+	st, err := newState(c, testCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := 1 - st.z[0][0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	st.remove(0, 0, other)
+}
+
+func BenchmarkCGSIterate(b *testing.B)       { benchIterate(b, "cgs") }
+func BenchmarkSparseLDAIterate(b *testing.B) { benchIterate(b, "sparselda") }
+func BenchmarkAliasLDAIterate(b *testing.B)  { benchIterate(b, "aliaslda") }
+func BenchmarkFLDAIterate(b *testing.B)      { benchIterate(b, "flda") }
+func BenchmarkLightLDAIterate(b *testing.B)  { benchIterate(b, "lightlda") }
+
+func benchIterate(b *testing.B, name string) {
+	c := testCorpus(9)
+	t := &testing.T{}
+	s := allSamplers(t, c, testCfg(32))[name]
+	tokens := c.NumTokens()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Iterate()
+	}
+	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}

@@ -1,0 +1,128 @@
+// Package baselines implements every LDA sampler the paper compares
+// WarpLDA against (Table 2): plain collapsed Gibbs sampling, SparseLDA,
+// AliasLDA, F+LDA and LightLDA — the last with the delayed-update /
+// simple-proposal ablation switches of Figure 7.
+//
+// All five follow the classic CGS state layout the paper analyses: full
+// dense count matrices Cd (D×K) and Cw (V×K) plus the global vector ck,
+// updated instantly after each token (except where a Figure-7 variant
+// delays them). That layout is the point of the comparison: their random
+// accesses spread over O(DK)/O(KV) matrices, while WarpLDA's stay in an
+// O(K) row.
+package baselines
+
+import (
+	"fmt"
+
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+	"warplda/internal/sampler"
+)
+
+// state is the collapsed-Gibbs bookkeeping shared by all baselines.
+type state struct {
+	cfg     sampler.Config
+	c       *corpus.Corpus
+	k       int
+	alpha   float64
+	beta    float64
+	betaBar float64
+
+	z  [][]int32 // current assignments, corpus-shaped
+	cd []int32   // D×K row-major document-topic counts
+	cw []int32   // V×K row-major word-topic counts
+	ck []int32   // K global topic counts
+	r  *rng.RNG
+}
+
+func newState(c *corpus.Corpus, cfg sampler.Config) (*state, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	d := c.NumDocs()
+	s := &state{
+		cfg:     cfg,
+		c:       c,
+		k:       cfg.K,
+		alpha:   cfg.Alpha,
+		beta:    cfg.Beta,
+		betaBar: cfg.Beta * float64(c.V),
+		z:       make([][]int32, d),
+		cd:      make([]int32, d*cfg.K),
+		cw:      make([]int32, c.V*cfg.K),
+		ck:      make([]int32, cfg.K),
+		r:       rng.New(cfg.Seed),
+	}
+	for di, doc := range c.Docs {
+		s.z[di] = make([]int32, len(doc))
+		for n, w := range doc {
+			t := int32(s.r.Intn(cfg.K))
+			s.z[di][n] = t
+			s.cd[di*s.k+int(t)]++
+			s.cw[int(w)*s.k+int(t)]++
+			s.ck[t]++
+		}
+	}
+	return s, nil
+}
+
+// cdRow returns document d's count row.
+func (s *state) cdRow(d int) []int32 { return s.cd[d*s.k : (d+1)*s.k] }
+
+// cwRow returns word w's count row.
+func (s *state) cwRow(w int32) []int32 { return s.cw[int(w)*s.k : (int(w)+1)*s.k] }
+
+// remove deletes token (d, w) with topic t from all counts.
+func (s *state) remove(d int, w, t int32) {
+	s.cd[d*s.k+int(t)]--
+	s.cw[int(w)*s.k+int(t)]--
+	s.ck[t]--
+	if s.cd[d*s.k+int(t)] < 0 || s.cw[int(w)*s.k+int(t)] < 0 || s.ck[t] < 0 {
+		panic(fmt.Sprintf("baselines: negative count removing topic %d", t))
+	}
+}
+
+// add inserts token (d, w) with topic t into all counts.
+func (s *state) add(d int, w, t int32) {
+	s.cd[d*s.k+int(t)]++
+	s.cw[int(w)*s.k+int(t)]++
+	s.ck[t]++
+}
+
+// Assignments implements part of sampler.Sampler for all baselines.
+func (s *state) Assignments() [][]int32 { return s.z }
+
+// checkConsistent recomputes all counts from z and panics on divergence.
+// Used by tests (and cheap enough to call there only).
+func (s *state) checkConsistent() error {
+	cd := make([]int32, len(s.cd))
+	cw := make([]int32, len(s.cw))
+	ck := make([]int32, len(s.ck))
+	for d, doc := range s.c.Docs {
+		for n, w := range doc {
+			t := s.z[d][n]
+			cd[d*s.k+int(t)]++
+			cw[int(w)*s.k+int(t)]++
+			ck[t]++
+		}
+	}
+	for i := range cd {
+		if cd[i] != s.cd[i] {
+			return fmt.Errorf("cd[%d] = %d, want %d", i, s.cd[i], cd[i])
+		}
+	}
+	for i := range cw {
+		if cw[i] != s.cw[i] {
+			return fmt.Errorf("cw[%d] = %d, want %d", i, s.cw[i], cw[i])
+		}
+	}
+	for i := range ck {
+		if ck[i] != s.ck[i] {
+			return fmt.Errorf("ck[%d] = %d, want %d", i, s.ck[i], ck[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package cachesim provides a software model of a CPU cache hierarchy
+// and replays the count-matrix access patterns of each LDA algorithm
+// through it. It substitutes for the PAPI hardware counters the paper
+// uses to produce Table 4 (L3 cache miss rates): the hardware is not
+// available here, but the *mechanism* the paper measures — whether an
+// algorithm's randomly accessed working set fits in the L3 cache — is
+// architecture-independent and is what this simulator reproduces.
+package cachesim
+
+import "fmt"
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name string
+	Size int // bytes
+	Ways int // associativity
+}
+
+// Config describes a cache hierarchy, first level closest to the core.
+type Config struct {
+	LineSize int
+	Levels   []LevelConfig
+}
+
+// IvyBridge is the paper's Table 1 machine: 32KB L1D, 256KB L2, 30MB L3,
+// 64-byte lines.
+func IvyBridge() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 32 << 10, Ways: 8},
+			{Name: "L2", Size: 256 << 10, Ways: 8},
+			{Name: "L3", Size: 30 << 20, Ways: 20},
+		},
+	}
+}
+
+// Scaled returns the Ivy Bridge geometry shrunk by factor (≥ 1): the
+// experiments run on corpora thousands of times smaller than the paper's,
+// so the caches are shrunk by a similar factor to preserve the ratio
+// between matrix sizes and cache sizes. Associativity and line size are
+// kept; sizes are rounded to a power-of-two set count.
+func Scaled(factor int) Config {
+	c := IvyBridge()
+	for i := range c.Levels {
+		s := c.Levels[i].Size / factor
+		min := c.LineSize * c.Levels[i].Ways
+		if s < min {
+			s = min
+		}
+		c.Levels[i].Size = s
+	}
+	return c
+}
+
+// LevelStats counts accesses that reached a level and misses there.
+type LevelStats struct {
+	Name     string
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// level is one set-associative LRU cache.
+type level struct {
+	sets    int
+	ways    int
+	shift   uint // line offset bits
+	tags    []uint64
+	lastUse []int64
+	stats   LevelStats
+}
+
+func newLevel(cfg LevelConfig, lineSize int) *level {
+	lines := cfg.Size / lineSize
+	sets := lines / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	l := &level{
+		sets:    sets,
+		ways:    cfg.Ways,
+		shift:   shift,
+		tags:    make([]uint64, sets*cfg.Ways),
+		lastUse: make([]int64, sets*cfg.Ways),
+		stats:   LevelStats{Name: cfg.Name},
+	}
+	for i := range l.tags {
+		l.tags[i] = ^uint64(0)
+	}
+	return l
+}
+
+// access looks up addr; on miss it installs the line (inclusive model).
+// Returns true on hit.
+func (l *level) access(addr uint64, clock int64) bool {
+	line := addr >> l.shift
+	set := int(line) & (l.sets - 1)
+	base := set * l.ways
+	l.stats.Accesses++
+	victim, oldest := base, l.lastUse[base]
+	for i := base; i < base+l.ways; i++ {
+		if l.tags[i] == line {
+			l.lastUse[i] = clock
+			return true
+		}
+		if l.lastUse[i] < oldest {
+			victim, oldest = i, l.lastUse[i]
+		}
+	}
+	l.stats.Misses++
+	l.tags[victim] = line
+	l.lastUse[victim] = clock
+	return false
+}
+
+// Hierarchy simulates an inclusive multi-level cache: an access probes
+// L1; on miss it proceeds to L2, and so on. Misses at the last level go
+// to main memory.
+type Hierarchy struct {
+	cfg    Config
+	levels []*level
+	clock  int64
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	if cfg.LineSize <= 0 || len(cfg.Levels) == 0 {
+		panic("cachesim: invalid config")
+	}
+	h := &Hierarchy{cfg: cfg}
+	for _, lc := range cfg.Levels {
+		h.levels = append(h.levels, newLevel(lc, cfg.LineSize))
+	}
+	return h
+}
+
+// Access simulates one memory access to byte address addr. It returns
+// the index of the level that served it (len(levels) means main memory).
+func (h *Hierarchy) Access(addr uint64) int {
+	h.clock++
+	for i, l := range h.levels {
+		if l.access(addr, h.clock) {
+			return i
+		}
+	}
+	return len(h.levels)
+}
+
+// AccessRange simulates a sequential touch of size bytes starting at addr
+// (one access per cache line).
+func (h *Hierarchy) AccessRange(addr uint64, size int) {
+	line := uint64(h.cfg.LineSize)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		h.Access(a)
+	}
+}
+
+// Stats returns per-level statistics, ordered from L1 outward.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.stats
+	}
+	return out
+}
+
+// Level returns the stats of the named level.
+func (h *Hierarchy) Level(name string) (LevelStats, error) {
+	for _, l := range h.levels {
+		if l.stats.Name == name {
+			return l.stats, nil
+		}
+	}
+	return LevelStats{}, fmt.Errorf("cachesim: no level %q", name)
+}
+
+// Reset clears contents and statistics.
+func (h *Hierarchy) Reset() {
+	for i, l := range h.levels {
+		nl := newLevel(h.cfg.Levels[i], h.cfg.LineSize)
+		*l = *nl
+	}
+	h.clock = 0
+}

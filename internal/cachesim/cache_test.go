@@ -1,0 +1,224 @@
+package cachesim
+
+import (
+	"testing"
+
+	"warplda/internal/corpus"
+)
+
+func tinyConfig() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 1 << 10, Ways: 2},
+			{Name: "L2", Size: 4 << 10, Ways: 4},
+			{Name: "L3", Size: 16 << 10, Ways: 4},
+		},
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(tinyConfig())
+	if lvl := h.Access(0x1000); lvl != 3 {
+		t.Fatalf("cold access served by level %d, want memory (3)", lvl)
+	}
+	if lvl := h.Access(0x1000); lvl != 0 {
+		t.Fatalf("repeat access served by level %d, want L1 (0)", lvl)
+	}
+	// Same cache line.
+	if lvl := h.Access(0x1030); lvl != 0 {
+		t.Fatalf("same-line access served by level %d, want L1", lvl)
+	}
+}
+
+func TestWorkingSetFitsInL3NotL1(t *testing.T) {
+	h := New(tinyConfig())
+	// 8KB working set: fits L3 (16KB) but not L1 (1KB).
+	const size = 8 << 10
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < size; a += 64 {
+			h.Access(a)
+		}
+	}
+	l1, _ := h.Level("L1D")
+	l3, _ := h.Level("L3")
+	if l1.MissRate() < 0.9 {
+		t.Errorf("L1 miss rate %.2f, want ~1 for 8x-oversized working set", l1.MissRate())
+	}
+	// After the cold pass, L3 should serve everything: overall misses
+	// bounded by the cold pass (1/4 of L3-reaching accesses).
+	if got := l3.MissRate(); got > 0.30 {
+		t.Errorf("L3 miss rate %.2f, want <= cold-pass share", got)
+	}
+}
+
+func TestWorkingSetExceedsL3(t *testing.T) {
+	h := New(tinyConfig())
+	const size = 256 << 10 // 16x the 16KB L3
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < size; a += 64 {
+			h.Access(a)
+		}
+	}
+	l3, _ := h.Level("L3")
+	if got := l3.MissRate(); got < 0.99 {
+		t.Errorf("L3 miss rate %.3f for sequential over-capacity sweep, want ~1", got)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// Direct test of LRU: 2-way L1, three lines mapping to the same set.
+	cfg := Config{LineSize: 64, Levels: []LevelConfig{{Name: "L1", Size: 2 << 10, Ways: 2}}}
+	h := New(cfg)
+	sets := uint64((2 << 10) / 64 / 2) // 16 sets
+	stride := sets * 64
+	a, b, c := uint64(0), stride, 2*stride
+	h.Access(a)
+	h.Access(b)
+	h.Access(a) // a is now MRU
+	h.Access(c) // evicts b (LRU)
+	if lvl := h.Access(a); lvl != 0 {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if lvl := h.Access(b); lvl == 0 {
+		t.Fatal("b still resident despite being LRU victim")
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	h := New(tinyConfig())
+	h.AccessRange(10, 200) // spans lines 0,64,128 → 4 lines (10..210 crosses 0,64,128,192)
+	l1, _ := h.Level("L1D")
+	if l1.Accesses != 4 {
+		t.Fatalf("AccessRange issued %d accesses, want 4", l1.Accesses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(tinyConfig())
+	h.Access(0)
+	h.Reset()
+	l1, _ := h.Level("L1D")
+	if l1.Accesses != 0 {
+		t.Fatal("stats survived Reset")
+	}
+	if lvl := h.Access(0); lvl != 3 {
+		t.Fatal("contents survived Reset")
+	}
+}
+
+func TestLevelLookupError(t *testing.T) {
+	h := New(tinyConfig())
+	if _, err := h.Level("L9"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestIvyBridgeGeometry(t *testing.T) {
+	cfg := IvyBridge()
+	if cfg.Levels[2].Size != 30<<20 || cfg.LineSize != 64 {
+		t.Fatalf("unexpected Ivy Bridge config %+v", cfg)
+	}
+	sc := Scaled(1024)
+	if sc.Levels[2].Size >= cfg.Levels[2].Size/512 {
+		t.Fatalf("Scaled did not shrink L3: %d", sc.Levels[2].Size)
+	}
+	for _, l := range sc.Levels {
+		if l.Size < sc.LineSize*l.Ways {
+			t.Fatalf("scaled level %s too small: %d", l.Name, l.Size)
+		}
+	}
+}
+
+func replayCorpus() *corpus.Corpus {
+	return corpus.GenerateZipf(400, 800, 60, 0.9, 42)
+}
+
+func TestReplayAllAlgorithms(t *testing.T) {
+	c := replayCorpus()
+	for _, alg := range Algorithms {
+		h := New(Scaled(256))
+		if err := Replay(alg, c, h, ReplayConfig{K: 128, M: 1, MaxTokens: 5000, Seed: 1}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		l3, err := h.Level("L3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l3.Accesses == 0 && alg != AlgWarpLDA {
+			t.Errorf("%s: no accesses reached L3", alg)
+		}
+	}
+}
+
+func TestReplayUnknownAlgorithm(t *testing.T) {
+	h := New(tinyConfig())
+	if err := Replay("nope", replayCorpus(), h, ReplayConfig{K: 8}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestReplayRejectsZeroK(t *testing.T) {
+	h := New(tinyConfig())
+	if err := Replay(AlgWarpLDA, replayCorpus(), h, ReplayConfig{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+// The headline Table 4 shape: WarpLDA's L3 miss rate is far below
+// LightLDA's and F+LDA's, because its random accesses stay in a reused
+// O(K) buffer while theirs spread over O(KV)/O(DK) matrices.
+func TestWarpLDAMissesBelowBaselines(t *testing.T) {
+	c := replayCorpus()
+	miss := map[string]float64{}
+	for _, alg := range []string{AlgWarpLDA, AlgLightLDA, AlgFPlusLDA} {
+		h := New(Scaled(1024)) // L3 ≈ 30KB vs count matrices ≈ 400KB
+		if err := Replay(alg, c, h, ReplayConfig{K: 128, M: 1, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+		l3, _ := h.Level("L3")
+		miss[alg] = l3.MissRate()
+	}
+	if miss[AlgWarpLDA] >= miss[AlgLightLDA]/2 {
+		t.Errorf("WarpLDA L3 miss %.3f not well below LightLDA %.3f", miss[AlgWarpLDA], miss[AlgLightLDA])
+	}
+	if miss[AlgWarpLDA] >= miss[AlgFPlusLDA]/2 {
+		t.Errorf("WarpLDA L3 miss %.3f not well below F+LDA %.3f", miss[AlgWarpLDA], miss[AlgFPlusLDA])
+	}
+}
+
+func TestExpectedDistinct(t *testing.T) {
+	if got := expectedDistinct(1000, 1); got != 1 {
+		t.Fatalf("one draw gives %d distinct", got)
+	}
+	if got := expectedDistinct(10, 10000); got != 10 {
+		t.Fatalf("saturated draws give %d, want 10", got)
+	}
+	if got := expectedDistinct(1000000, 100); got < 90 || got > 64+36 {
+		// ~100 expected, capped at 64
+		if got != 64 {
+			t.Fatalf("expectedDistinct(1e6,100) = %d", got)
+		}
+	}
+}
+
+func TestHashBytes(t *testing.T) {
+	// min(K,2L)=6 → capacity 8 → 64 bytes.
+	if got := hashBytes(1000000, 3); got != 64 {
+		t.Fatalf("hashBytes = %d, want 64", got)
+	}
+	// min(K,2L)=1000 → capacity 1024 → 8KB.
+	if got := hashBytes(1000, google); got != 1024*8 {
+		t.Fatalf("hashBytes = %d, want 8192", got)
+	}
+}
+
+const google = 100000 // large L so min(K,2L)=K
+
+func BenchmarkAccess(b *testing.B) {
+	h := New(IvyBridge())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i*64) % (64 << 20))
+	}
+}

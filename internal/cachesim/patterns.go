@@ -1,0 +1,204 @@
+package cachesim
+
+import (
+	"fmt"
+	"math"
+
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+)
+
+// Algorithm names accepted by Replay. They correspond to the rows of the
+// paper's Table 2 / Table 4.
+const (
+	AlgCGS       = "cgs"
+	AlgSparseLDA = "sparselda"
+	AlgAliasLDA  = "aliaslda"
+	AlgFPlusLDA  = "flda"
+	AlgLightLDA  = "lightlda"
+	AlgWarpLDA   = "warplda"
+)
+
+// Algorithms lists every replayable algorithm in Table 2 order.
+var Algorithms = []string{AlgCGS, AlgSparseLDA, AlgAliasLDA, AlgFPlusLDA, AlgLightLDA, AlgWarpLDA}
+
+// Disjoint virtual address regions for the data structures whose accesses
+// the paper's analysis tracks. 1TB apart so they never alias.
+const (
+	baseCd    uint64 = 1 << 40 // D×K document-topic count matrix
+	baseCw    uint64 = 2 << 40 // V×K word-topic count matrix
+	baseRowCd uint64 = 3 << 40 // WarpLDA's single reused cd buffer
+	baseRowCw uint64 = 4 << 40 // WarpLDA's single reused cw buffer
+	baseTok   uint64 = 5 << 40 // token array (sequential)
+	baseAlias uint64 = 6 << 40 // per-word alias tables
+	baseCk    uint64 = 7 << 40 // global topic counts (K vector)
+)
+
+const elem = 4 // bytes per count
+
+// ReplayConfig controls a pattern replay.
+type ReplayConfig struct {
+	K         int
+	M         int    // MH steps per token (MH-based algorithms)
+	MaxTokens int    // cap on replayed tokens (0 = all)
+	Seed      uint64 // topic-draw randomness
+}
+
+// Replay streams the count-matrix access pattern of the named algorithm
+// over corpus c through hierarchy h. It models exactly the accesses the
+// paper's Section 3.3 analysis attributes to each algorithm: which of
+// Cd / Cw is touched per token, at what granularity, and in which token
+// order. Topic indices are drawn at random — the cache behaviour depends
+// on *where* the accesses land (row vs whole matrix), not on which topic
+// wins.
+func Replay(alg string, c *corpus.Corpus, h *Hierarchy, cfg ReplayConfig) error {
+	if cfg.K <= 0 {
+		return fmt.Errorf("cachesim: K must be positive")
+	}
+	if cfg.M <= 0 {
+		cfg.M = 1
+	}
+	r := rng.New(cfg.Seed)
+	switch alg {
+	case AlgCGS:
+		replayDocOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			// O(K) sequential scan of both count rows.
+			h.AccessRange(baseCw+uint64(w)*uint64(cfg.K)*elem, cfg.K*elem)
+			h.AccessRange(baseCd+uint64(d)*uint64(cfg.K)*elem, cfg.K*elem)
+		})
+	case AlgSparseLDA:
+		replayDocOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			// Kw random entries of word row + Kd random entries of doc row.
+			kw := expectedDistinct(cfg.K, lw)
+			for i := 0; i < kw; i++ {
+				h.Access(baseCw + uint64(w)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			}
+			kd := expectedDistinct(cfg.K, ld)
+			for i := 0; i < kd; i++ {
+				h.Access(baseCd + uint64(d)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			}
+		})
+	case AlgAliasLDA:
+		replayDocOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			// Kd entries of the doc row; one stale alias-table draw and one
+			// Cw probe for the MH correction.
+			kd := expectedDistinct(cfg.K, ld)
+			for i := 0; i < kd; i++ {
+				h.Access(baseCd + uint64(d)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			}
+			aliasSize := expectedDistinct(cfg.K, lw) * 16
+			h.Access(baseAlias + uint64(w)*uint64(cfg.K)*16 + uint64(r.Intn(aliasSize/8+1))*8)
+			h.Access(baseCw + uint64(w)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+		})
+	case AlgFPlusLDA:
+		return replayWordOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			// Word row is the current locality set; doc rows are random.
+			h.Access(baseCw + uint64(w)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			kd := expectedDistinct(cfg.K, ld)
+			for i := 0; i < kd; i++ {
+				h.Access(baseCd + uint64(d)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			}
+		})
+	case AlgLightLDA:
+		replayDocOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			for m := 0; m < cfg.M; m++ {
+				// Doc proposal: doc row (current doc — cached) + Cw probe for
+				// the acceptance rate; word proposal: alias draw + Cw probe.
+				h.Access(baseCd + uint64(d)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+				h.Access(baseCw + uint64(w)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+				aliasSize := expectedDistinct(cfg.K, lw) * 16
+				h.Access(baseAlias + uint64(w)*uint64(cfg.K)*16 + uint64(r.Intn(aliasSize/8+1))*8)
+				h.Access(baseCw + uint64(w)*uint64(cfg.K)*elem + uint64(r.Intn(cfg.K))*elem)
+			}
+		})
+	case AlgWarpLDA:
+		// Doc phase: all random accesses land in one reused cd buffer.
+		replayDocOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			buf := hashBytes(cfg.K, ld)
+			for m := 0; m < cfg.M; m++ {
+				h.Access(baseRowCd + uint64(r.Intn(buf/elem))*elem)
+				h.Access(baseCk + uint64(r.Intn(cfg.K))*elem)
+			}
+		})
+		// Word phase: one reused cw buffer.
+		return replayWordOrder(c, h, cfg, func(d, w int, ld, lw int) {
+			buf := hashBytes(cfg.K, lw)
+			for m := 0; m < cfg.M; m++ {
+				h.Access(baseRowCw + uint64(r.Intn(buf/elem))*elem)
+				h.Access(baseCk + uint64(r.Intn(cfg.K))*elem)
+			}
+		})
+	default:
+		return fmt.Errorf("cachesim: unknown algorithm %q", alg)
+	}
+	return nil
+}
+
+// replayDocOrder visits tokens document-by-document. Each token also
+// issues one sequential token-array read, as every algorithm streams the
+// token data.
+func replayDocOrder(c *corpus.Corpus, h *Hierarchy, cfg ReplayConfig, fn func(d, w, ld, lw int)) {
+	tf := c.TermFrequencies()
+	n := 0
+	idx := 0
+	for d, doc := range c.Docs {
+		for _, w := range doc {
+			if cfg.MaxTokens > 0 && n >= cfg.MaxTokens {
+				return
+			}
+			h.Access(baseTok + uint64(idx)*8)
+			fn(d, int(w), len(doc), tf[w])
+			n++
+			idx++
+		}
+	}
+}
+
+// replayWordOrder visits tokens word-by-word via the word-major view.
+func replayWordOrder(c *corpus.Corpus, h *Hierarchy, cfg ReplayConfig, fn func(d, w, ld, lw int)) error {
+	wm := corpus.BuildWordMajor(c)
+	n := 0
+	idx := 0
+	for w := 0; w < c.V; w++ {
+		col := wm.DocID[wm.Start[w]:wm.Start[w+1]]
+		for _, d := range col {
+			if cfg.MaxTokens > 0 && n >= cfg.MaxTokens {
+				return nil
+			}
+			h.Access(baseTok + uint64(idx)*8)
+			fn(int(d), w, len(c.Docs[d]), len(col))
+			n++
+			idx++
+		}
+	}
+	return nil
+}
+
+// expectedDistinct approximates Kd (or Kw): the expected number of
+// distinct topics among l draws from K, K·(1 − (1 − 1/K)^l), capped for
+// replay speed.
+func expectedDistinct(k, l int) int {
+	e := float64(k) * (1 - math.Pow(1-1/float64(k), float64(l)))
+	n := int(e + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 { // cap: replay cost, not fidelity — the locality set is what matters
+		n = 64
+	}
+	return n
+}
+
+// hashBytes is the byte size of WarpLDA's per-row hash table: capacity
+// the minimum power of two > min(K, 2L), 8 bytes per slot (key+count).
+func hashBytes(k, l int) int {
+	n := k
+	if 2*l < n {
+		n = 2 * l
+	}
+	c := 8
+	for c <= n {
+		c <<= 1
+	}
+	return c * 8
+}

@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"warplda/internal/alias"
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+	"warplda/internal/sampler"
+	"warplda/internal/sparse"
+	"warplda/internal/tcount"
+)
+
+// Token is one token's record in the sharded representation: its cell in
+// the D×V matrix plus the payload (assignment z followed by M proposals).
+type Token struct {
+	D, W int32
+	Data []int32
+}
+
+// Distributed runs WarpLDA with *physically sharded* state, the actual
+// execution model of Section 5.3: each of P workers owns a disjoint set
+// of token entries; the word phase runs with entries partitioned by
+// column owner, the doc phase with entries partitioned by row owner, and
+// between unlike phases every off-diagonal block is shipped to its next
+// owner over channels (the in-process MPI_Ialltoall). The only replicated
+// state is the K-dim global count vector, allreduced once per iteration —
+// exactly the paper's claim that nothing else is shared.
+//
+// Distributed and core.Warp implement the same algorithm; core.Warp is
+// the optimized shared-memory path, Distributed the sharded path whose
+// convergence the Figure 6 / 9 experiments rely on.
+type Distributed struct {
+	cfg  sampler.Config
+	c    *corpus.Corpus
+	p    int
+	cols *sparse.Partition
+	rows *sparse.Partition
+
+	// byCol[i] holds worker i's tokens, grouped for the word phase.
+	byCol [][]Token
+	ck    []int32
+
+	// blockTokens is the send-block granularity of the pipelined
+	// exchange: Section 5.3.2 divides each partition into B×B blocks
+	// (B ∈ [2,10]) so finished blocks ship while later ones compute.
+	blockTokens int
+
+	workers []*dworker
+	asgBuf  [][]int32
+}
+
+type dworker struct {
+	r       *rng.RNG
+	counter tcount.Counter
+	topics  []int32
+	weights []float64
+	tab     alias.SparseTable
+	ckAcc   []int32
+}
+
+// NewDistributed builds the sharded sampler over p workers.
+func NewDistributed(c *corpus.Corpus, cfg sampler.Config, p int) (*Distributed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("cluster: M = %d, want >= 1", cfg.M)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: %d workers", p)
+	}
+	d := &Distributed{cfg: cfg, c: c, p: p, ck: make([]int32, cfg.K)}
+
+	tf := c.TermFrequencies()
+	d.cols = sparse.GreedyPartition(tf, p)
+	dl := make([]int, c.NumDocs())
+	for di, doc := range c.Docs {
+		dl[di] = len(doc)
+	}
+	d.rows = sparse.GreedyPartition(dl, p)
+
+	// Shard tokens by column owner with random initial assignments.
+	r := rng.New(cfg.Seed)
+	d.byCol = make([][]Token, p)
+	for di, doc := range c.Docs {
+		for _, w := range doc {
+			z := int32(r.Intn(cfg.K))
+			data := make([]int32, cfg.M+1)
+			for j := range data {
+				data[j] = z
+			}
+			d.ck[z]++
+			owner := d.cols.Assign[w]
+			d.byCol[owner] = append(d.byCol[owner], Token{D: int32(di), W: w, Data: data})
+		}
+	}
+
+	// B = 5 blocks per partition side (the middle of the paper's [2,10]).
+	const blocksPerSide = 5
+	d.blockTokens = c.NumTokens()/(p*p*blocksPerSide) + 1
+
+	d.workers = make([]*dworker, p)
+	for i := range d.workers {
+		wk := &dworker{r: r.Split(), ckAcc: make([]int32, cfg.K)}
+		if cfg.K <= 1024 {
+			wk.counter = tcount.NewDense(cfg.K)
+		} else {
+			wk.counter = tcount.NewHash(256)
+		}
+		d.workers[i] = wk
+	}
+	return d, nil
+}
+
+// Name implements sampler.Sampler.
+func (d *Distributed) Name() string { return fmt.Sprintf("WarpLDA-sharded[%d]", d.p) }
+
+// Iterate implements sampler.Sampler: a pipelined word phase streaming
+// its finished blocks to the row owners, then a pipelined doc phase
+// streaming back to the column owners, then the ck allreduce.
+func (d *Distributed) Iterate() {
+	// --- Word phase, overlapped with the col→row exchange ---
+	byRow := d.phaseAndExchange(d.byCol, false,
+		func(wk *dworker, group []Token) { d.wordGroup(wk, group) },
+		func(t Token) int32 { return d.rows.Assign[t.D] })
+
+	// --- Doc phase, overlapped with the row→col exchange ---
+	for _, wk := range d.workers {
+		clear(wk.ckAcc)
+	}
+	d.byCol = d.phaseAndExchange(byRow, true,
+		func(wk *dworker, group []Token) { d.docGroup(wk, group) },
+		func(t Token) int32 { return d.cols.Assign[t.W] })
+
+	// --- Allreduce ck ---
+	clear(d.ck)
+	for _, wk := range d.workers {
+		for k, v := range wk.ckAcc {
+			d.ck[k] += v
+		}
+	}
+}
+
+// phaseAndExchange runs one phase with the Section 5.3.2 overlap: each
+// worker processes its shard group by group and ships tokens to their
+// next owner in blocks of blockTokens as soon as the block fills, while
+// the remaining groups are still being computed. Receivers drain their
+// channels concurrently; channels close when every sender is done.
+func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool,
+	process func(wk *dworker, group []Token), owner func(Token) int32) [][]Token {
+
+	chans := make([]chan []Token, d.p)
+	for i := range chans {
+		chans[i] = make(chan []Token, 2*d.p)
+	}
+
+	var senders sync.WaitGroup
+	for i, wk := range d.workers {
+		senders.Add(1)
+		go func(i int, wk *dworker) {
+			defer senders.Done()
+			groupSort(shards[i], byRow)
+			buckets := make([][]Token, d.p)
+			forGroups(shards[i], byRow, func(group []Token) {
+				process(wk, group)
+				// Route the finished group's tokens; full blocks ship now.
+				for _, t := range group {
+					o := owner(t)
+					buckets[o] = append(buckets[o], t)
+					if len(buckets[o]) >= d.blockTokens {
+						chans[o] <- buckets[o]
+						buckets[o] = nil
+					}
+				}
+			})
+			for o, b := range buckets {
+				if len(b) > 0 {
+					chans[o] <- b
+				}
+			}
+		}(i, wk)
+	}
+	go func() {
+		senders.Wait()
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+
+	out := make([][]Token, d.p)
+	var receivers sync.WaitGroup
+	for i := 0; i < d.p; i++ {
+		receivers.Add(1)
+		go func(i int) {
+			defer receivers.Done()
+			for b := range chans[i] {
+				out[i] = append(out[i], b...)
+			}
+		}(i)
+	}
+	receivers.Wait()
+	return out
+}
+
+// groupSort sorts tokens by doc (byRow) or word (byCol) with a simple
+// in-place quicksort so same-key tokens are contiguous.
+func groupSort(ts []Token, byRow bool) {
+	key := func(t Token) int32 {
+		if byRow {
+			return t.D
+		}
+		return t.W
+	}
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			pivot := key(ts[(lo+hi)/2])
+			i, j := lo, hi
+			for i <= j {
+				for key(ts[i]) < pivot {
+					i++
+				}
+				for key(ts[j]) > pivot {
+					j--
+				}
+				if i <= j {
+					ts[i], ts[j] = ts[j], ts[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
+		}
+		for i := lo + 1; i <= hi; i++ {
+			for j := i; j > lo && key(ts[j]) < key(ts[j-1]); j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+	}
+	if len(ts) > 1 {
+		qs(0, len(ts)-1)
+	}
+}
+
+// forGroups calls fn on each maximal run of equal-key tokens.
+func forGroups(ts []Token, byRow bool, fn func(group []Token)) {
+	key := func(t Token) int32 {
+		if byRow {
+			return t.D
+		}
+		return t.W
+	}
+	for lo := 0; lo < len(ts); {
+		hi := lo + 1
+		for hi < len(ts) && key(ts[hi]) == key(ts[lo]) {
+			hi++
+		}
+		fn(ts[lo:hi])
+		lo = hi
+	}
+}
+
+// wordGroup is the word-phase body for one word's tokens: finish the
+// doc-proposal chains (π^doc), rebuild c_w, draw M word proposals.
+func (d *Distributed) wordGroup(wk *dworker, group []Token) {
+	k := d.cfg.K
+	beta := d.cfg.Beta
+	betaBar := beta * float64(d.c.V)
+	lw := len(group)
+	cw := wk.counter
+	resetCounter(cw, k, lw)
+	for _, t := range group {
+		cw.Incr(t.Data[0])
+	}
+	for _, t := range group {
+		s := t.Data[0]
+		for j := 1; j < len(t.Data); j++ {
+			prop := t.Data[j]
+			if prop == s {
+				continue
+			}
+			pi := (float64(cw.Get(prop)) + beta) / (float64(cw.Get(s)) + beta) *
+				(float64(d.ck[s]) + betaBar) / (float64(d.ck[prop]) + betaBar)
+			if pi >= 1 || wk.r.Float64() < pi {
+				s = prop
+			}
+		}
+		t.Data[0] = s
+	}
+	resetCounter(cw, k, lw)
+	for _, t := range group {
+		cw.Incr(t.Data[0])
+	}
+	wk.topics = wk.topics[:0]
+	wk.weights = wk.weights[:0]
+	cw.NonZero(func(kk, c int32) {
+		wk.topics = append(wk.topics, kk)
+		wk.weights = append(wk.weights, float64(c))
+	})
+	wk.tab.Build(wk.topics, wk.weights)
+	pCount := float64(lw) / (float64(lw) + float64(k)*beta)
+	for _, t := range group {
+		for j := 1; j < len(t.Data); j++ {
+			if wk.r.Float64() < pCount {
+				t.Data[j] = wk.tab.Draw(wk.r)
+			} else {
+				t.Data[j] = int32(wk.r.Intn(k))
+			}
+		}
+	}
+}
+
+// docGroup is the doc-phase body for one document's tokens: finish the
+// word-proposal chains (π^word), draw M doc proposals by positioning,
+// accumulate ck.
+func (d *Distributed) docGroup(wk *dworker, group []Token) {
+	k := d.cfg.K
+	alpha := d.cfg.Alpha
+	betaBar := d.cfg.Beta * float64(d.c.V)
+	ld := len(group)
+	cd := wk.counter
+	resetCounter(cd, k, ld)
+	for _, t := range group {
+		cd.Incr(t.Data[0])
+	}
+	for _, t := range group {
+		s := t.Data[0]
+		for j := 1; j < len(t.Data); j++ {
+			prop := t.Data[j]
+			if prop == s {
+				continue
+			}
+			pi := (float64(cd.Get(prop)) + alpha) / (float64(cd.Get(s)) + alpha) *
+				(float64(d.ck[s]) + betaBar) / (float64(d.ck[prop]) + betaBar)
+			if pi >= 1 || wk.r.Float64() < pi {
+				s = prop
+			}
+		}
+		t.Data[0] = s
+	}
+	pCount := float64(ld) / (float64(ld) + alpha*float64(k))
+	for _, t := range group {
+		for j := 1; j < len(t.Data); j++ {
+			if wk.r.Float64() < pCount {
+				t.Data[j] = group[wk.r.Intn(ld)].Data[0]
+			} else {
+				t.Data[j] = int32(wk.r.Intn(k))
+			}
+		}
+		wk.ckAcc[t.Data[0]]++
+	}
+}
+
+func resetCounter(c tcount.Counter, k, l int) {
+	if h, ok := c.(*tcount.Hash); ok {
+		h.ResetFor(k, l)
+		return
+	}
+	c.Reset()
+}
+
+// GlobalCounts returns a copy of the replicated ck vector.
+func (d *Distributed) GlobalCounts() []int32 { return append([]int32(nil), d.ck...) }
+
+// Assignments implements sampler.Sampler. Tokens are scrambled across
+// shards, so assignments are regrouped per (doc, word) cell; within a
+// cell topics are interchangeable, which keeps the log joint likelihood
+// well defined.
+func (d *Distributed) Assignments() [][]int32 {
+	if d.asgBuf == nil {
+		d.asgBuf = make([][]int32, len(d.c.Docs))
+		for di, doc := range d.c.Docs {
+			d.asgBuf[di] = make([]int32, len(doc))
+		}
+	}
+	// Collect topics per (doc, word) cell.
+	cell := make(map[int64][]int32)
+	for _, shard := range d.byCol {
+		for _, t := range shard {
+			key := int64(t.D)<<32 | int64(uint32(t.W))
+			cell[key] = append(cell[key], t.Data[0])
+		}
+	}
+	for di, doc := range d.c.Docs {
+		out := d.asgBuf[di]
+		for n, w := range doc {
+			key := int64(di)<<32 | int64(uint32(w))
+			list := cell[key]
+			out[n] = list[len(list)-1]
+			cell[key] = list[:len(list)-1]
+		}
+	}
+	return d.asgBuf
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+
+	"warplda/internal/core"
+	"warplda/internal/eval"
+	"warplda/internal/sampler"
+)
+
+func TestDistributedConverges(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	cfg.M = 2
+	d, err := NewDistributed(c, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eval.LogJoint(c, d.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	for i := 0; i < 20; i++ {
+		d.Iterate()
+	}
+	after := eval.LogJoint(c, d.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	if after <= before {
+		t.Fatalf("sharded sampler did not converge: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestDistributedConservesTokens(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	cfg.M = 1
+	d, err := NewDistributed(c, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int32(c.NumTokens())
+	for i := 0; i < 5; i++ {
+		d.Iterate()
+		var sum int32
+		for _, v := range d.GlobalCounts() {
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("iteration %d: ck sums to %d, want %d", i, sum, total)
+		}
+		// No token lost or duplicated across exchanges.
+		n := 0
+		for _, shard := range d.byCol {
+			n += len(shard)
+		}
+		if n != int(total) {
+			t.Fatalf("iteration %d: %d tokens in shards, want %d", i, n, total)
+		}
+	}
+}
+
+func TestDistributedCkMatchesAssignments(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	d, err := NewDistributed(c, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Iterate()
+	}
+	z := d.Assignments()
+	want := make([]int32, cfg.K)
+	for _, zd := range z {
+		for _, k := range zd {
+			want[k]++
+		}
+	}
+	got := d.GlobalCounts()
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ck[%d] = %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestDistributedAssignmentsShape(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	d, err := NewDistributed(c, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Iterate()
+	z := d.Assignments()
+	if len(z) != len(c.Docs) {
+		t.Fatal("wrong doc count")
+	}
+	for di := range z {
+		if len(z[di]) != len(c.Docs[di]) {
+			t.Fatalf("doc %d: %d topics for %d tokens", di, len(z[di]), len(c.Docs[di]))
+		}
+		for _, k := range z[di] {
+			if k < 0 || int(k) >= cfg.K {
+				t.Fatalf("topic %d out of range", k)
+			}
+		}
+	}
+}
+
+// The sharded implementation must match the shared-memory sampler's
+// converged quality (they are the same algorithm).
+func TestDistributedMatchesSharedMemoryQuality(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	cfg.M = 2
+	d, err := NewDistributed(c, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		d.Iterate()
+		w.Iterate()
+	}
+	llD := eval.LogJoint(c, d.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	llW := eval.LogJoint(c, w.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	diff := llD - llW
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.03*abs(llW) {
+		t.Fatalf("sharded LL %.1f differs from shared-memory %.1f by more than 3%%", llD, llW)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDistributedSingleWorker(t *testing.T) {
+	c := simCorpus()
+	cfg := sampler.PaperDefaults(6)
+	d, err := NewDistributed(c, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eval.LogJoint(c, d.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	for i := 0; i < 10; i++ {
+		d.Iterate()
+	}
+	after := eval.LogJoint(c, d.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+	if after <= before {
+		t.Fatal("single-worker sharded run did not converge")
+	}
+}
+
+func TestDistributedRejectsBadInput(t *testing.T) {
+	c := simCorpus()
+	if _, err := NewDistributed(c, sampler.Config{}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := sampler.PaperDefaults(4)
+	if _, err := NewDistributed(c, cfg, 0); err == nil {
+		t.Error("0 workers accepted")
+	}
+	cfg.M = 0
+	if _, err := NewDistributed(c, cfg, 2); err == nil {
+		t.Error("M=0 accepted")
+	}
+}
+
+func TestGroupSortAndForGroups(t *testing.T) {
+	ts := []Token{
+		{D: 3, W: 9}, {D: 1, W: 5}, {D: 3, W: 2}, {D: 2, W: 7}, {D: 1, W: 1},
+	}
+	groupSort(ts, true)
+	var order []int32
+	mixed := false
+	forGroups(ts, true, func(g []Token) {
+		order = append(order, g[0].D)
+		for _, tok := range g {
+			if tok.D != g[0].D {
+				mixed = true
+			}
+		}
+	})
+	if mixed {
+		t.Fatal("group contains mixed keys")
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("group order %v", order)
+	}
+}

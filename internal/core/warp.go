@@ -1,0 +1,604 @@
+// Package core implements WarpLDA, the paper's primary contribution: an
+// O(1)-per-token Metropolis–Hastings sampler for LDA whose randomly
+// accessed memory per document (or word) is O(K).
+//
+// The sampler realizes the MCEM algorithm of Section 4.2: it seeks a MAP
+// estimate of (Θ, Φ) with Z integrated out, alternating an E-step that
+// samples every topic assignment from
+//
+//	q(z_dn = k) ∝ (C_dk + α) (C_wk + β) / (C_k + β̄)        (Eq. 5)
+//
+// with all counts frozen (delayed update), and an implicit M-step that
+// recomputes counts. Freezing the counts is what permits the reordering
+// strategy of Section 4.4: proposals for *all* tokens are drawn before
+// any acceptance rate is computed, so one full iteration becomes
+//
+//	word phase  (VisitByColumn): finish the doc-proposal MH chains,
+//	            then draw word proposals  — touches only c_w and c_k;
+//	doc phase   (VisitByRow):   finish the word-proposal MH chains,
+//	            then draw doc proposals   — touches only c_d and c_k,
+//
+// exactly Algorithm 2 in the paper's appendix. Neither count matrix is
+// stored: c_w and c_d are recomputed on the fly for the row/column being
+// visited, in a reused buffer that fits in cache.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"warplda/internal/alias"
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+	"warplda/internal/sampler"
+	"warplda/internal/sparse"
+	"warplda/internal/tcount"
+)
+
+// Options tune implementation details of the sampler. The zero value is
+// the paper's configuration.
+type Options struct {
+	// DenseThreshold is the topic count below which per-row counters use
+	// a dense array instead of the Section 5.4 hash table. 0 means 1024.
+	DenseThreshold int
+	// ForceHash forces hash-table counters regardless of K (for the
+	// hash-vs-dense ablation).
+	ForceHash bool
+	// DisableSparseAlias replaces the sparse alias table for the word
+	// proposal with a dense K-sized table (ablation; O(K) per word).
+	DisableSparseAlias bool
+	// DocProposalAlias draws the doc proposal from a per-document sparse
+	// alias table over c_d instead of random positioning (the paper's
+	// Section 4.3 lists both as O(1) options; positioning avoids the
+	// build). Ablation knob.
+	DocProposalAlias bool
+	// ShuffleTokens randomizes the CSC entry order, defeating the sorted
+	// within-column layout of Section 5.2 (cache ablation). Assignments()
+	// then reports per-document topic multisets in scrambled token order,
+	// so it is for performance measurements only.
+	ShuffleTokens bool
+	// DisableIntraWord turns off Section 5.4's intra-word parallelism:
+	// with multiple threads, columns whose term frequency exceeds
+	// max(K, 1024) are by default processed by all workers together (one
+	// column at a time), which keeps only one c_w in cache and balances
+	// the load the heaviest words would otherwise skew.
+	DisableIntraWord bool
+}
+
+// Warp is the WarpLDA sampler bound to one corpus.
+type Warp struct {
+	cfg  sampler.Config
+	opts Options
+	c    *corpus.Corpus
+
+	// m holds one entry per token at (doc, word); the payload is the
+	// current assignment z followed by M proposals.
+	m *sparse.Matrix
+
+	ck     []int32 // global topic counts, frozen during an iteration
+	ckNext []int32 // accumulator for the next iteration's ck
+
+	betaBar  float64
+	alphaBar float64
+	alphas   []float64    // per-topic prior (symmetric expansion if needed)
+	alphaTab *alias.Table // q_doc smoothing part for asymmetric α (nil = uniform)
+
+	workers []*worker
+	asgBuf  [][]int32
+
+	heavyCols []int  // columns processed with intra-word parallelism
+	isHeavy   []bool // per column
+}
+
+// worker carries the per-goroutine scratch state.
+type worker struct {
+	r       *rng.RNG
+	counter tcount.Counter
+	topics  []int32   // nonzero topic ids of the current row
+	weights []float64 // matching weights for the alias build
+	tab     alias.SparseTable
+	dense   alias.Table
+	ckAcc   []int32
+
+	cols [2]int // column range [start, end) owned in the word phase
+	rows [2]int // row range owned in the doc phase
+}
+
+// New builds a WarpLDA sampler. The corpus must be valid; cfg.M ≥ 1 is
+// required (the paper uses M between 1 and 4).
+func New(c *corpus.Corpus, cfg sampler.Config) (*Warp, error) {
+	return NewWithOptions(c, cfg, Options{})
+}
+
+// NewWithOptions is New with implementation knobs exposed for ablations.
+func NewWithOptions(c *corpus.Corpus, cfg sampler.Config, opts Options) (*Warp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("core: M = %d, want >= 1", cfg.M)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.DenseThreshold <= 0 {
+		opts.DenseThreshold = 1024
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+
+	w := &Warp{
+		cfg:      cfg,
+		opts:     opts,
+		c:        c,
+		ck:       make([]int32, cfg.K),
+		ckNext:   make([]int32, cfg.K),
+		betaBar:  cfg.Beta * float64(c.V),
+		alphaBar: cfg.AlphaBar(),
+		alphas:   cfg.Alphas(),
+	}
+	if cfg.AlphaVec != nil {
+		w.alphaTab = alias.New(cfg.AlphaVec)
+	}
+
+	b := sparse.NewBuilder(max(1, c.NumDocs()), c.V, cfg.M+1)
+	for d, doc := range c.Docs {
+		for _, word := range doc {
+			b.AddEntry(d, int(word))
+		}
+	}
+	if opts.ShuffleTokens {
+		w.m = b.FreezeShuffled(cfg.Seed)
+	} else {
+		w.m = b.Freeze()
+	}
+
+	// Random initialization: z uniform; proposals start equal to z so the
+	// first word phase's chains are no-ops.
+	r := rng.New(cfg.Seed)
+	w.m.VisitByRow(func(_ int, v sparse.RowView) {
+		for i := 0; i < v.Len(); i++ {
+			data := v.Data(i)
+			z := int32(r.Intn(cfg.K))
+			for j := range data {
+				data[j] = z
+			}
+			w.ck[z]++
+		}
+	})
+
+	w.buildWorkers(r)
+	return w, nil
+}
+
+func (w *Warp) buildWorkers(r *rng.RNG) {
+	n := w.cfg.Threads
+	w.workers = make([]*worker, n)
+
+	// Balance the phase work: columns by term frequency, rows by length.
+	tf := w.c.TermFrequencies()
+	// Section 5.4: the most frequent words (Lw > K) are processed with
+	// all workers cooperating on one column at a time; they are excluded
+	// from the per-worker ranges by zeroing their weight.
+	w.isHeavy = make([]bool, w.c.V)
+	if n > 1 && !w.opts.DisableIntraWord {
+		threshold := w.cfg.K
+		if threshold < 1024 {
+			threshold = 1024 // avoid barrier overhead on toy columns
+		}
+		balanced := make([]int, len(tf))
+		copy(balanced, tf)
+		for col, f := range tf {
+			if f > threshold {
+				w.isHeavy[col] = true
+				w.heavyCols = append(w.heavyCols, col)
+				balanced[col] = 0
+			}
+		}
+		tf = balanced
+	}
+	colCut := contiguousCuts(tf, n)
+	dl := make([]int, w.c.NumDocs())
+	for d, doc := range w.c.Docs {
+		dl[d] = len(doc)
+	}
+	rowCut := contiguousCuts(dl, n)
+
+	for i := 0; i < n; i++ {
+		wk := &worker{
+			r:     r.Split(),
+			ckAcc: make([]int32, w.cfg.K),
+			cols:  [2]int{colCut[i], colCut[i+1]},
+			rows:  [2]int{rowCut[i], rowCut[i+1]},
+		}
+		if w.opts.ForceHash {
+			wk.counter = tcount.NewHash(64)
+		} else if w.cfg.K <= w.opts.DenseThreshold {
+			wk.counter = tcount.NewDense(w.cfg.K)
+		} else {
+			wk.counter = tcount.NewHash(256)
+		}
+		w.workers[i] = wk
+	}
+}
+
+// contiguousCuts splits items into n contiguous ranges with roughly equal
+// total weight, returning n+1 cut points.
+func contiguousCuts(weights []int, n int) []int {
+	var total int64
+	for _, w := range weights {
+		total += int64(w)
+	}
+	cuts := make([]int, n+1)
+	cuts[n] = len(weights)
+	var acc int64
+	part := 1
+	for i := range weights {
+		if part < n && acc >= total*int64(part)/int64(n) {
+			cuts[part] = i
+			part++
+		}
+		acc += int64(weights[i])
+	}
+	for ; part < n; part++ {
+		cuts[part] = len(weights)
+	}
+	return cuts
+}
+
+// Name implements sampler.Sampler.
+func (w *Warp) Name() string { return "WarpLDA" }
+
+// K returns the configured topic count.
+func (w *Warp) K() int { return w.cfg.K }
+
+// Iterate implements sampler.Sampler: one word phase then one doc phase,
+// after which the global count vector is refreshed (the M-step).
+func (w *Warp) Iterate() {
+	for _, col := range w.heavyCols {
+		w.wordColumnParallel(col)
+	}
+	w.runPhase(func(wk *worker) {
+		for col := wk.cols[0]; col < wk.cols[1]; col++ {
+			if !w.isHeavy[col] {
+				w.wordColumn(wk, col)
+			}
+		}
+	})
+	for _, wk := range w.workers {
+		clear(wk.ckAcc)
+	}
+	w.runPhase(func(wk *worker) {
+		for row := wk.rows[0]; row < wk.rows[1]; row++ {
+			w.docRow(wk, row)
+		}
+	})
+	// M-step: ck for the next iteration from the per-worker accumulators.
+	clear(w.ckNext)
+	for _, wk := range w.workers {
+		for k, v := range wk.ckAcc {
+			w.ckNext[k] += v
+		}
+	}
+	w.ck, w.ckNext = w.ckNext, w.ck
+}
+
+func (w *Warp) runPhase(fn func(*worker)) {
+	if len(w.workers) == 1 {
+		fn(w.workers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, wk := range w.workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			fn(wk)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// wordColumn processes one word: finish the doc-proposal chains for its
+// tokens using the word acceptance rate (Eq. 7, π^doc), then rebuild c_w
+// and draw M fresh word proposals per token.
+func (w *Warp) wordColumn(wk *worker, col int) {
+	v := w.m.Column(col)
+	lw := v.Len()
+	if lw == 0 {
+		return
+	}
+	beta, betaBar := w.cfg.Beta, w.betaBar
+	cw := wk.counter
+	resetCounter(cw, w.cfg.K, lw)
+	for i := 0; i < lw; i++ {
+		cw.Incr(v.Data(i)[0])
+	}
+
+	// Accept/reject the proposals drawn in the previous doc phase. c_w
+	// stays frozen over the chains (delayed update within the E-step).
+	for i := 0; i < lw; i++ {
+		data := v.Data(i)
+		s := data[0]
+		for j := 1; j < len(data); j++ {
+			t := data[j]
+			if t == s {
+				continue
+			}
+			pi := (float64(cw.Get(t)) + beta) / (float64(cw.Get(s)) + beta) *
+				(float64(w.ck[s]) + betaBar) / (float64(w.ck[t]) + betaBar)
+			if pi >= 1 || wk.r.Float64() < pi {
+				s = t
+			}
+		}
+		data[0] = s
+	}
+
+	// Recompute c_w from the updated assignments and build the word
+	// proposal sampler q^word ∝ C_wk + β (mixture of the sparse count
+	// part and the uniform smoothing part).
+	resetCounter(cw, w.cfg.K, lw)
+	for i := 0; i < lw; i++ {
+		cw.Incr(v.Data(i)[0])
+	}
+
+	if w.opts.DisableSparseAlias {
+		// Ablation: dense K-sized alias table, O(K) per word.
+		weights := growF(&wk.weights, w.cfg.K)
+		for k := range weights {
+			weights[k] = beta
+		}
+		cw.NonZero(func(k, c int32) { weights[k] += float64(c) })
+		wk.dense.Build(weights)
+		for i := 0; i < lw; i++ {
+			data := v.Data(i)
+			for j := 1; j < len(data); j++ {
+				data[j] = int32(wk.dense.Draw(wk.r))
+			}
+		}
+		return
+	}
+
+	wk.topics = wk.topics[:0]
+	wk.weights = wk.weights[:0]
+	cw.NonZero(func(k, c int32) {
+		wk.topics = append(wk.topics, k)
+		wk.weights = append(wk.weights, float64(c))
+	})
+	wk.tab.Build(wk.topics, wk.weights)
+	// Mixture weight of the count part: ZA = Lw, ZB = Kβ.
+	pCount := float64(lw) / (float64(lw) + float64(w.cfg.K)*beta)
+	for i := 0; i < lw; i++ {
+		data := v.Data(i)
+		for j := 1; j < len(data); j++ {
+			if wk.r.Float64() < pCount {
+				data[j] = wk.tab.Draw(wk.r)
+			} else {
+				data[j] = int32(wk.r.Intn(w.cfg.K))
+			}
+		}
+	}
+}
+
+// wordColumnParallel is wordColumn with intra-word parallelism
+// (Section 5.4): all workers cooperate on one heavy column. c_w is
+// counted once, the MH chains and the proposal draws are split across
+// workers (each with its own RNG), and the shared counter/alias table is
+// only read concurrently.
+func (w *Warp) wordColumnParallel(col int) {
+	v := w.m.Column(col)
+	lw := v.Len()
+	if lw == 0 {
+		return
+	}
+	beta, betaBar := w.cfg.Beta, w.betaBar
+	lead := w.workers[0]
+	cw := lead.counter
+	resetCounter(cw, w.cfg.K, lw)
+	for i := 0; i < lw; i++ {
+		cw.Incr(v.Data(i)[0])
+	}
+
+	n := len(w.workers)
+	slice := func(fn func(wk *worker, lo, hi int)) {
+		var wg sync.WaitGroup
+		chunk := (lw + n - 1) / n
+		for i, wk := range w.workers {
+			lo := i * chunk
+			hi := lo + chunk
+			if lo > lw {
+				lo = lw
+			}
+			if hi > lw {
+				hi = lw
+			}
+			wg.Add(1)
+			go func(wk *worker, lo, hi int) {
+				defer wg.Done()
+				fn(wk, lo, hi)
+			}(wk, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Chains: c_w and c_k are frozen, so concurrent reads are safe.
+	slice(func(wk *worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data := v.Data(i)
+			s := data[0]
+			for j := 1; j < len(data); j++ {
+				t := data[j]
+				if t == s {
+					continue
+				}
+				pi := (float64(cw.Get(t)) + beta) / (float64(cw.Get(s)) + beta) *
+					(float64(w.ck[s]) + betaBar) / (float64(w.ck[t]) + betaBar)
+				if pi >= 1 || wk.r.Float64() < pi {
+					s = t
+				}
+			}
+			data[0] = s
+		}
+	})
+
+	resetCounter(cw, w.cfg.K, lw)
+	for i := 0; i < lw; i++ {
+		cw.Incr(v.Data(i)[0])
+	}
+	lead.topics = lead.topics[:0]
+	lead.weights = lead.weights[:0]
+	cw.NonZero(func(k, c int32) {
+		lead.topics = append(lead.topics, k)
+		lead.weights = append(lead.weights, float64(c))
+	})
+	lead.tab.Build(lead.topics, lead.weights)
+	pCount := float64(lw) / (float64(lw) + float64(w.cfg.K)*beta)
+
+	// Draws: the alias table is read-only under Draw.
+	slice(func(wk *worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data := v.Data(i)
+			for j := 1; j < len(data); j++ {
+				if wk.r.Float64() < pCount {
+					data[j] = lead.tab.Draw(wk.r)
+				} else {
+					data[j] = int32(wk.r.Intn(w.cfg.K))
+				}
+			}
+		}
+	})
+}
+
+// docRow processes one document: finish the word-proposal chains using
+// the doc acceptance rate (Eq. 7, π^word), draw M fresh doc proposals per
+// token by random positioning, and accumulate this document's counts into
+// the next iteration's c_k.
+func (w *Warp) docRow(wk *worker, row int) {
+	v := w.m.RowOf(row)
+	ld := v.Len()
+	if ld == 0 {
+		return
+	}
+	alphas, betaBar := w.alphas, w.betaBar
+	cd := wk.counter
+	resetCounter(cd, w.cfg.K, ld)
+	for i := 0; i < ld; i++ {
+		cd.Incr(v.Data(i)[0])
+	}
+
+	for i := 0; i < ld; i++ {
+		data := v.Data(i)
+		s := data[0]
+		for j := 1; j < len(data); j++ {
+			t := data[j]
+			if t == s {
+				continue
+			}
+			pi := (float64(cd.Get(t)) + alphas[t]) / (float64(cd.Get(s)) + alphas[s]) *
+				(float64(w.ck[s]) + betaBar) / (float64(w.ck[t]) + betaBar)
+			if pi >= 1 || wk.r.Float64() < pi {
+				s = t
+			}
+		}
+		data[0] = s
+	}
+
+	// Draw doc proposals q^doc ∝ C_dk + α, either by random positioning
+	// on the updated assignments (default) or from a rebuilt sparse alias
+	// table (ablation): ZA = Ld, ZB = Kα.
+	pCount := float64(ld) / (float64(ld) + w.alphaBar)
+	if w.opts.DocProposalAlias {
+		resetCounter(cd, w.cfg.K, ld)
+		for i := 0; i < ld; i++ {
+			cd.Incr(v.Data(i)[0])
+		}
+		wk.topics = wk.topics[:0]
+		wk.weights = wk.weights[:0]
+		cd.NonZero(func(k, c int32) {
+			wk.topics = append(wk.topics, k)
+			wk.weights = append(wk.weights, float64(c))
+		})
+		wk.tab.Build(wk.topics, wk.weights)
+		for i := 0; i < ld; i++ {
+			data := v.Data(i)
+			for j := 1; j < len(data); j++ {
+				if wk.r.Float64() < pCount {
+					data[j] = wk.tab.Draw(wk.r)
+				} else {
+					data[j] = w.drawAlphaPart(wk.r)
+				}
+			}
+			wk.ckAcc[data[0]]++
+		}
+		return
+	}
+	for i := 0; i < ld; i++ {
+		data := v.Data(i)
+		for j := 1; j < len(data); j++ {
+			if wk.r.Float64() < pCount {
+				data[j] = v.Data(wk.r.Intn(ld))[0]
+			} else {
+				data[j] = w.drawAlphaPart(wk.r)
+			}
+		}
+		wk.ckAcc[data[0]]++
+	}
+}
+
+// drawAlphaPart samples from the smoothing part of q_doc: uniform for a
+// symmetric prior, an alias draw over α for an asymmetric one.
+func (w *Warp) drawAlphaPart(r *rng.RNG) int32 {
+	if w.alphaTab != nil {
+		return int32(w.alphaTab.Draw(r))
+	}
+	return int32(r.Intn(w.cfg.K))
+}
+
+// resetCounter prepares a per-row counter for a row of length l.
+func resetCounter(c tcount.Counter, k, l int) {
+	if h, ok := c.(*tcount.Hash); ok {
+		h.ResetFor(k, l)
+		return
+	}
+	c.Reset()
+}
+
+func growF(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// Assignments implements sampler.Sampler. The returned matrix is aligned
+// with the corpus: entry [d][n] is the topic of token n of document d.
+// (Row views preserve insertion order, which was token order.)
+func (w *Warp) Assignments() [][]int32 {
+	if w.asgBuf == nil {
+		w.asgBuf = make([][]int32, len(w.c.Docs))
+		for d, doc := range w.c.Docs {
+			w.asgBuf[d] = make([]int32, len(doc))
+		}
+	}
+	w.m.VisitByRow(func(row int, v sparse.RowView) {
+		out := w.asgBuf[row]
+		for i := 0; i < v.Len(); i++ {
+			out[i] = v.Data(i)[0]
+		}
+	})
+	return w.asgBuf
+}
+
+// GlobalCounts returns a copy of the current frozen c_k vector.
+func (w *Warp) GlobalCounts() []int32 {
+	return append([]int32(nil), w.ck...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+// Package corpus provides the document substrate for all experiments:
+// the in-memory bag-of-words representation, readers/writers for the UCI
+// bag-of-words format the paper's NYTimes and PubMed datasets use, a
+// plain-text tokenizer, and synthetic corpus generators (LDA generative
+// process, Zipf word frequencies) used as stand-ins for the proprietary
+// or web-scale corpora in the paper's evaluation.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Corpus is a tokenized bag-of-words collection. Docs[d] lists the word
+// ids (0-based, < V) of the tokens of document d; LDA ignores word order,
+// so any ordering is valid. Vocab, when non-nil, maps word id to surface
+// form and has length V.
+type Corpus struct {
+	V     int
+	Docs  [][]int32
+	Vocab []string
+}
+
+// NumDocs returns D, the number of documents.
+func (c *Corpus) NumDocs() int { return len(c.Docs) }
+
+// NumTokens returns T, the total number of tokens in the corpus.
+func (c *Corpus) NumTokens() int {
+	t := 0
+	for _, d := range c.Docs {
+		t += len(d)
+	}
+	return t
+}
+
+// Stats summarizes a corpus the way the paper's Table 3 does.
+type Stats struct {
+	D int     // documents
+	T int     // tokens
+	V int     // vocabulary size
+	L float64 // T/D, mean document length
+}
+
+// Stats returns the corpus summary.
+func (c *Corpus) Stats() Stats {
+	t := c.NumTokens()
+	s := Stats{D: c.NumDocs(), T: t, V: c.V}
+	if s.D > 0 {
+		s.L = float64(t) / float64(s.D)
+	}
+	return s
+}
+
+// String formats the stats as a Table-3 style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("D=%d T=%d V=%d T/D=%.1f", s.D, s.T, s.V, s.L)
+}
+
+// Validate checks structural invariants: every word id is in [0, V) and,
+// if Vocab is set, len(Vocab) == V. It returns a descriptive error on the
+// first violation.
+func (c *Corpus) Validate() error {
+	if c.V <= 0 {
+		return fmt.Errorf("corpus: V = %d, want > 0", c.V)
+	}
+	if c.Vocab != nil && len(c.Vocab) != c.V {
+		return fmt.Errorf("corpus: len(Vocab) = %d, want V = %d", len(c.Vocab), c.V)
+	}
+	for d, doc := range c.Docs {
+		for n, w := range doc {
+			if w < 0 || int(w) >= c.V {
+				return fmt.Errorf("corpus: doc %d token %d: word id %d out of [0,%d)", d, n, w, c.V)
+			}
+		}
+	}
+	return nil
+}
+
+// TermFrequencies returns Lw for every word: the number of tokens of each
+// word in the corpus (the column sizes of the paper's topic-assignment
+// matrix X).
+func (c *Corpus) TermFrequencies() []int {
+	tf := make([]int, c.V)
+	for _, doc := range c.Docs {
+		for _, w := range doc {
+			tf[w]++
+		}
+	}
+	return tf
+}
+
+// WordMajor is the word-by-word (CSC) view of a corpus: for each word w,
+// Tokens[Start[w]:Start[w+1]] lists the documents of w's occurrences,
+// sorted by document id. Word-ordered samplers (F+LDA) and WarpLDA's
+// column phase iterate this view.
+type WordMajor struct {
+	Start []int32 // length V+1
+	DocID []int32 // length T, document of each occurrence
+}
+
+// BuildWordMajor constructs the word-major view in O(T + V) by counting
+// sort, which also guarantees the per-column sort by document id the
+// paper's Section 5.2 relies on for cache-line reuse.
+func BuildWordMajor(c *Corpus) *WordMajor {
+	tf := c.TermFrequencies()
+	start := make([]int32, c.V+1)
+	for w := 0; w < c.V; w++ {
+		start[w+1] = start[w] + int32(tf[w])
+	}
+	docID := make([]int32, c.NumTokens())
+	next := make([]int32, c.V)
+	copy(next, start[:c.V])
+	for d, doc := range c.Docs {
+		for _, w := range doc {
+			docID[next[w]] = int32(d)
+			next[w]++
+		}
+	}
+	return &WordMajor{Start: start, DocID: docID}
+}
+
+// TopWordsShare returns the fraction of all tokens contributed by the n
+// most frequent words — the power-law statistic the paper quotes for
+// ClueWeb12 ("the first 10,000 words attribute to 80% of the entries").
+func (c *Corpus) TopWordsShare(n int) float64 {
+	tf := c.TermFrequencies()
+	sort.Sort(sort.Reverse(sort.IntSlice(tf)))
+	if n > len(tf) {
+		n = len(tf)
+	}
+	top := 0
+	for _, f := range tf[:n] {
+		top += f
+	}
+	t := c.NumTokens()
+	if t == 0 {
+		return 0
+	}
+	return float64(top) / float64(t)
+}

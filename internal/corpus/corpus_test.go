@@ -1,0 +1,332 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"warplda/internal/rng"
+)
+
+func tinyCorpus() *Corpus {
+	return &Corpus{
+		V: 4,
+		Docs: [][]int32{
+			{0, 1, 1, 3},
+			{2},
+			{},
+			{3, 3, 0},
+		},
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := tinyCorpus()
+	s := c.Stats()
+	if s.D != 4 || s.T != 8 || s.V != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.L-2) > 1e-12 {
+		t.Fatalf("mean length = %g, want 2", s.L)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := tinyCorpus()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid corpus rejected: %v", err)
+	}
+	c.Docs[0][0] = 7
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range word id accepted")
+	}
+	c = tinyCorpus()
+	c.Vocab = []string{"a", "b"}
+	if err := c.Validate(); err == nil {
+		t.Fatal("mismatched vocab accepted")
+	}
+}
+
+func TestTermFrequencies(t *testing.T) {
+	got := tinyCorpus().TermFrequencies()
+	want := []int{2, 2, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tf = %v, want %v", got, want)
+	}
+}
+
+func TestBuildWordMajor(t *testing.T) {
+	c := tinyCorpus()
+	wm := BuildWordMajor(c)
+	if len(wm.Start) != c.V+1 || len(wm.DocID) != c.NumTokens() {
+		t.Fatalf("bad shapes: %d starts, %d tokens", len(wm.Start), len(wm.DocID))
+	}
+	// Word 3 occurs in doc 0 once and doc 3 twice, sorted by doc id.
+	col := wm.DocID[wm.Start[3]:wm.Start[4]]
+	if !reflect.DeepEqual(col, []int32{0, 3, 3}) {
+		t.Fatalf("word 3 column = %v", col)
+	}
+	// Columns are sorted by doc id, and token totals agree.
+	for w := 0; w < c.V; w++ {
+		col := wm.DocID[wm.Start[w]:wm.Start[w+1]]
+		for i := 1; i < len(col); i++ {
+			if col[i] < col[i-1] {
+				t.Fatalf("word %d column not sorted: %v", w, col)
+			}
+		}
+	}
+}
+
+func TestWordMajorRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := r.Intn(20) + 1
+		v := r.Intn(30) + 1
+		c := &Corpus{V: v, Docs: make([][]int32, d)}
+		for i := range c.Docs {
+			n := r.Intn(15)
+			doc := make([]int32, n)
+			for j := range doc {
+				doc[j] = int32(r.Intn(v))
+			}
+			c.Docs[i] = doc
+		}
+		wm := BuildWordMajor(c)
+		// Reconstruct per-doc word multisets from the word-major view.
+		rebuilt := make([]map[int32]int, d)
+		for i := range rebuilt {
+			rebuilt[i] = map[int32]int{}
+		}
+		for w := 0; w < v; w++ {
+			for _, doc := range wm.DocID[wm.Start[w]:wm.Start[w+1]] {
+				rebuilt[doc][int32(w)]++
+			}
+		}
+		for i, doc := range c.Docs {
+			want := map[int32]int{}
+			for _, w := range doc {
+				want[w]++
+			}
+			if !reflect.DeepEqual(want, rebuilt[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCIRoundTrip(t *testing.T) {
+	c := tinyCorpus()
+	var buf bytes.Buffer
+	if err := WriteUCI(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUCI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != c.V || got.NumDocs() != c.NumDocs() || got.NumTokens() != c.NumTokens() {
+		t.Fatalf("round trip changed shape: %+v vs %+v", got.Stats(), c.Stats())
+	}
+	// Token multisets per document must agree (order may differ).
+	for d := range c.Docs {
+		want := map[int32]int{}
+		for _, w := range c.Docs[d] {
+			want[w]++
+		}
+		gotSet := map[int32]int{}
+		for _, w := range got.Docs[d] {
+			gotSet[w]++
+		}
+		if !reflect.DeepEqual(want, gotSet) {
+			t.Fatalf("doc %d mismatch: %v vs %v", d, gotSet, want)
+		}
+	}
+}
+
+func TestReadUCIKnown(t *testing.T) {
+	in := "2\n3\n3\n1 1 2\n1 3 1\n2 2 5\n"
+	c, err := ReadUCI(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 || c.V != 3 || c.NumTokens() != 8 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+	if len(c.Docs[0]) != 3 || len(c.Docs[1]) != 5 {
+		t.Fatalf("doc lengths: %d, %d", len(c.Docs[0]), len(c.Docs[1]))
+	}
+}
+
+func TestReadUCIErrors(t *testing.T) {
+	cases := map[string]string{
+		"truncated header":  "2\n3\n",
+		"bad header":        "x\n3\n3\n",
+		"bad entry fields":  "1\n2\n1\n1 1\n",
+		"doc out of range":  "1\n2\n1\n2 1 1\n",
+		"word out of range": "1\n2\n1\n1 3 1\n",
+		"zero count":        "1\n2\n1\n1 1 0\n",
+		"nnz mismatch":      "1\n2\n2\n1 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadUCI(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadVocab(t *testing.T) {
+	v, err := ReadVocab(strings.NewReader("apple\nbanana\n\ncherry\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, []string{"apple", "banana", "cherry"}) {
+		t.Fatalf("vocab = %v", v)
+	}
+}
+
+func TestFromText(t *testing.T) {
+	docs := []string{
+		"The iPhone and iOS: Apple's apple!",
+		"Android android ANDROID",
+		"the the the", // all stopwords
+	}
+	c := FromText(docs, TokenizeOptions{})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 3 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	if len(c.Docs[2]) != 0 {
+		t.Fatalf("stopword-only doc kept %d tokens", len(c.Docs[2]))
+	}
+	// "apple" appears twice in doc 0 (Apple's -> apple + s dropped as stopword? 's' is a stopword).
+	find := func(word string) int32 {
+		for i, w := range c.Vocab {
+			if w == word {
+				return int32(i)
+			}
+		}
+		return -1
+	}
+	if find("iphone") < 0 || find("ios") < 0 || find("apple") < 0 || find("android") < 0 {
+		t.Fatalf("vocab missing expected words: %v", c.Vocab)
+	}
+	if find("the") >= 0 {
+		t.Fatal("stopword kept in vocab")
+	}
+	nAndroid := 0
+	for _, w := range c.Docs[1] {
+		if w == find("android") {
+			nAndroid++
+		}
+	}
+	if nAndroid != 3 {
+		t.Fatalf("case folding failed: %d android tokens", nAndroid)
+	}
+}
+
+func TestFromTextMinDocFreq(t *testing.T) {
+	docs := []string{"common rare1", "common rare2", "common rare3"}
+	c := FromText(docs, TokenizeOptions{MinDocFreq: 2})
+	if c.V != 1 || c.Vocab[0] != "common" {
+		t.Fatalf("vocab = %v", c.Vocab)
+	}
+	for d := range c.Docs {
+		if len(c.Docs[d]) != 1 {
+			t.Fatalf("doc %d has %d tokens", d, len(c.Docs[d]))
+		}
+	}
+}
+
+func TestGenerateLDAShape(t *testing.T) {
+	cfg := SyntheticConfig{D: 200, V: 300, K: 5, MeanLen: 40, Alpha: 0.1, Beta: 0.05, Seed: 11}
+	c, err := GenerateLDA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.D != 200 || s.V != 300 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.L < 30 || s.L > 50 {
+		t.Fatalf("mean length %g far from 40", s.L)
+	}
+}
+
+func TestGenerateLDADeterministic(t *testing.T) {
+	cfg := SyntheticConfig{D: 20, V: 50, K: 3, MeanLen: 10, Seed: 5}
+	a, _ := GenerateLDA(cfg)
+	b, _ := GenerateLDA(cfg)
+	if !reflect.DeepEqual(a.Docs, b.Docs) {
+		t.Fatal("same seed produced different corpora")
+	}
+	cfg.Seed = 6
+	c, _ := GenerateLDA(cfg)
+	if reflect.DeepEqual(a.Docs, c.Docs) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateLDARejectsBadConfig(t *testing.T) {
+	if _, err := GenerateLDA(SyntheticConfig{D: 0, V: 1, K: 1, MeanLen: 1}); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := GenerateLDA(SyntheticConfig{D: 1, V: 1, K: 1, MeanLen: 0}); err == nil {
+		t.Fatal("MeanLen=0 accepted")
+	}
+}
+
+func TestGenerateZipfPowerLaw(t *testing.T) {
+	c := GenerateZipf(500, 2000, 100, 1.0, 7)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With s=1 the head of the vocabulary must dominate: the top 5% of
+	// words should carry well over a third of the tokens.
+	share := c.TopWordsShare(100)
+	if share < 0.35 {
+		t.Fatalf("top-100 share = %g, expected heavy head", share)
+	}
+	// And strictly more than a uniform corpus would give them.
+	if share < 3*100.0/2000.0 {
+		t.Fatalf("share %g not clearly super-uniform", share)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rng.New(13)
+	for _, mean := range []float64{3, 40, 120} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(r, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/n)+0.5 {
+			t.Errorf("poisson(%g) mean = %g", mean, got)
+		}
+	}
+}
+
+func TestConfigPresetsScale(t *testing.T) {
+	for _, cfg := range []SyntheticConfig{NYTimesLike(0.001), PubMedLike(0.0001), ClueWebLike(0.0000005)} {
+		if cfg.D < 50 || cfg.V < 100 || cfg.K <= 0 || cfg.MeanLen <= 0 {
+			t.Errorf("degenerate preset %+v", cfg)
+		}
+	}
+	// NYTimes keeps its T/D shape regardless of scale.
+	if NYTimesLike(0.01).MeanLen != 332 {
+		t.Error("NYTimesLike changed document length under scaling")
+	}
+}

@@ -1,0 +1,118 @@
+package corpus
+
+import (
+	"strings"
+)
+
+// TokenizeOptions configures FromText. The defaults mirror the paper's
+// ClueWeb12 preprocessing: "remove everything except alphabets and
+// digits, convert letters to lower case, tokenize the text by space and
+// remove stop words".
+type TokenizeOptions struct {
+	// MinWordLen drops tokens shorter than this many bytes (default 1).
+	MinWordLen int
+	// Stopwords are dropped after lowercasing. Nil means DefaultStopwords.
+	Stopwords map[string]bool
+	// MinDocFreq drops words appearing in fewer than this many documents
+	// from the vocabulary (default 1 = keep all).
+	MinDocFreq int
+}
+
+// DefaultStopwords is a small English stopword list sufficient for the
+// examples; real deployments would substitute their own.
+var DefaultStopwords = toSet(strings.Fields(`
+a an and are as at be but by for from had has have he her his i in is it
+its not of on or she that the their there they this to was were which will
+with you your we our us am do did done so if then than too very can could
+would should may might must shall about into over under again more most
+other some such no nor only own same s t just don now
+`))
+
+func toSet(words []string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// FromText tokenizes raw documents into a corpus, building a vocabulary.
+// Documents that end up empty are kept (as zero-length token lists) so
+// document ids are stable.
+func FromText(docs []string, opts TokenizeOptions) *Corpus {
+	if opts.MinWordLen < 1 {
+		opts.MinWordLen = 1
+	}
+	if opts.Stopwords == nil {
+		opts.Stopwords = DefaultStopwords
+	}
+	if opts.MinDocFreq < 1 {
+		opts.MinDocFreq = 1
+	}
+
+	tokenized := make([][]string, len(docs))
+	docFreq := map[string]int{}
+	for d, text := range docs {
+		words := tokenize(text, opts)
+		tokenized[d] = words
+		seen := map[string]bool{}
+		for _, w := range words {
+			if !seen[w] {
+				seen[w] = true
+				docFreq[w]++
+			}
+		}
+	}
+
+	// Assign ids in first-appearance order for determinism.
+	id := map[string]int32{}
+	var vocab []string
+	c := &Corpus{Docs: make([][]int32, len(docs))}
+	for d, words := range tokenized {
+		for _, w := range words {
+			if docFreq[w] < opts.MinDocFreq {
+				continue
+			}
+			wid, ok := id[w]
+			if !ok {
+				wid = int32(len(vocab))
+				id[w] = wid
+				vocab = append(vocab, w)
+			}
+			c.Docs[d] = append(c.Docs[d], wid)
+		}
+	}
+	c.V = len(vocab)
+	c.Vocab = vocab
+	if c.V == 0 {
+		c.V = 1 // keep the corpus structurally valid even if all text was stopwords
+		c.Vocab = []string{""}
+	}
+	return c
+}
+
+func tokenize(text string, opts TokenizeOptions) []string {
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= opts.MinWordLen {
+			w := b.String()
+			if !opts.Stopwords[w] {
+				words = append(words, w)
+			}
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return words
+}

@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadUCI parses the UCI machine-learning-repository bag-of-words format
+// (the distribution format of the paper's NYTimes and PubMed datasets):
+//
+//	D
+//	W
+//	NNZ
+//	docID wordID count        (NNZ lines, ids are 1-based)
+//
+// Each (doc, word, count) triple expands to count tokens. Blank lines are
+// ignored. Word and document ids beyond the declared bounds are an error.
+func ReadUCI(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var header [3]int
+	for i := 0; i < 3; {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("corpus: truncated UCI header: %w", scanErr(sc))
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: UCI header line %d: %v", i+1, err)
+		}
+		header[i] = v
+		i++
+	}
+	d, w, nnz := header[0], header[1], header[2]
+	if d < 0 || w <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("corpus: invalid UCI header D=%d W=%d NNZ=%d", d, w, nnz)
+	}
+
+	c := &Corpus{V: w, Docs: make([][]int32, d)}
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("corpus: UCI entry %q: want 3 fields", line)
+		}
+		doc, err1 := strconv.Atoi(f[0])
+		word, err2 := strconv.Atoi(f[1])
+		count, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("corpus: UCI entry %q: non-integer field", line)
+		}
+		if doc < 1 || doc > d {
+			return nil, fmt.Errorf("corpus: doc id %d out of [1,%d]", doc, d)
+		}
+		if word < 1 || word > w {
+			return nil, fmt.Errorf("corpus: word id %d out of [1,%d]", word, w)
+		}
+		if count < 1 {
+			return nil, fmt.Errorf("corpus: non-positive count %d", count)
+		}
+		for i := 0; i < count; i++ {
+			c.Docs[doc-1] = append(c.Docs[doc-1], int32(word-1))
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("corpus: UCI header declares %d entries, found %d", nnz, seen)
+	}
+	return c, nil
+}
+
+func scanErr(sc *bufio.Scanner) error {
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// WriteUCI serializes the corpus in UCI bag-of-words format. Tokens are
+// aggregated into (doc, word, count) triples; within a document, words
+// are emitted in increasing id order.
+func WriteUCI(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	// First pass: count entries.
+	nnz := 0
+	counts := map[int32]int32{}
+	for _, doc := range c.Docs {
+		clear(counts)
+		for _, word := range doc {
+			counts[word]++
+		}
+		nnz += len(counts)
+	}
+	if _, err := fmt.Fprintf(bw, "%d\n%d\n%d\n", len(c.Docs), c.V, nnz); err != nil {
+		return err
+	}
+	words := make([]int32, 0, 64)
+	for d, doc := range c.Docs {
+		clear(counts)
+		words = words[:0]
+		for _, word := range doc {
+			if counts[word] == 0 {
+				words = append(words, word)
+			}
+			counts[word]++
+		}
+		sortInt32(words)
+		for _, word := range words {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", d+1, word+1, counts[word]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVocab reads one word per line, in word-id order, as distributed
+// alongside UCI bag-of-words files.
+func ReadVocab(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var vocab []string
+	for sc.Scan() {
+		word := strings.TrimSpace(sc.Text())
+		if word != "" {
+			vocab = append(vocab, word)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return vocab, nil
+}
+
+func sortInt32(s []int32) {
+	// insertion sort: per-document word lists are short
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

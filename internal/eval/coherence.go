@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"warplda/internal/corpus"
+)
+
+// UMassCoherence computes the UMass topic-coherence score (Mimno et al.
+// 2011) of one topic given its top words, using document co-occurrence
+// statistics from the corpus:
+//
+//	C = Σ_{i<j} log ( (D(w_i, w_j) + 1) / D(w_j) )
+//
+// where the top words are ordered by within-topic probability, D(w) is
+// the number of documents containing w and D(wi, wj) the number
+// containing both. Higher (closer to zero) is better. It is the standard
+// automatic check that learned topics are semantically tight, and
+// complements the log joint likelihood the paper plots.
+func UMassCoherence(c *corpus.Corpus, topWords []int32) float64 {
+	if len(topWords) < 2 {
+		return 0
+	}
+	// Document frequencies for the involved words only.
+	idx := map[int32]int{}
+	for i, w := range topWords {
+		idx[w] = i
+	}
+	n := len(topWords)
+	df := make([]float64, n)
+	co := make([]float64, n*n)
+	seen := make([]bool, n)
+	for _, doc := range c.Docs {
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, w := range doc {
+			if i, ok := idx[w]; ok {
+				seen[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				continue
+			}
+			df[i]++
+			for j := i + 1; j < n; j++ {
+				if seen[j] {
+					co[i*n+j]++
+				}
+			}
+		}
+	}
+	var score float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if df[j] == 0 {
+				continue // the later word never appears: skip the pair
+			}
+			score += math.Log((co[i*n+j] + 1) / df[j])
+		}
+	}
+	return score
+}
+
+// TopWordsByCount returns the n most frequent words of topic k according
+// to a V×K count matrix (row-major by word), ordered by count descending.
+func TopWordsByCount(cw []int32, v, k, topic, n int) []int32 {
+	type ws struct {
+		w int32
+		c int32
+	}
+	all := make([]ws, v)
+	for w := 0; w < v; w++ {
+		all[w] = ws{int32(w), cw[w*k+topic]}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].c > all[b].c })
+	if n > v {
+		n = v
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"testing"
+
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+)
+
+// coherenceCorpus has two word blocks that always co-occur internally
+// and never across blocks.
+func coherenceCorpus() *corpus.Corpus {
+	c := &corpus.Corpus{V: 8, Docs: make([][]int32, 40)}
+	for d := range c.Docs {
+		base := int32(0)
+		if d%2 == 1 {
+			base = 4
+		}
+		c.Docs[d] = []int32{base, base + 1, base + 2, base + 3}
+	}
+	return c
+}
+
+func TestCoherentTopicBeatsIncoherent(t *testing.T) {
+	c := coherenceCorpus()
+	coherent := UMassCoherence(c, []int32{0, 1, 2, 3})
+	mixed := UMassCoherence(c, []int32{0, 1, 4, 5})
+	if coherent <= mixed {
+		t.Fatalf("coherent %.3f not above mixed %.3f", coherent, mixed)
+	}
+	// Fully co-occurring words: every pair contributes log((D+1)/D) > 0.
+	if coherent <= 0 {
+		t.Fatalf("perfectly co-occurring topic scored %.3f", coherent)
+	}
+	if mixed >= 0 {
+		t.Fatalf("cross-block topic scored %.3f, want negative", mixed)
+	}
+}
+
+func TestCoherenceEdgeCases(t *testing.T) {
+	c := coherenceCorpus()
+	if got := UMassCoherence(c, []int32{3}); got != 0 {
+		t.Fatalf("single word coherence = %g", got)
+	}
+	if got := UMassCoherence(c, nil); got != 0 {
+		t.Fatalf("empty coherence = %g", got)
+	}
+	// A word that never occurs: pairs ending at it are skipped.
+	c2 := &corpus.Corpus{V: 10, Docs: c.Docs}
+	got := UMassCoherence(c2, []int32{0, 9})
+	if got != 0 {
+		t.Fatalf("absent-word pair contributed %g", got)
+	}
+}
+
+func TestTopWordsByCount(t *testing.T) {
+	const v, k = 5, 2
+	cw := make([]int32, v*k)
+	// Topic 1 counts: word3=9, word0=5, word4=2, others 0.
+	cw[3*k+1] = 9
+	cw[0*k+1] = 5
+	cw[4*k+1] = 2
+	top := TopWordsByCount(cw, v, k, 1, 3)
+	if top[0] != 3 || top[1] != 0 || top[2] != 4 {
+		t.Fatalf("top = %v", top)
+	}
+	if got := TopWordsByCount(cw, v, k, 1, 99); len(got) != v {
+		t.Fatalf("overlong n returned %d words", len(got))
+	}
+}
+
+func TestCoherenceOnTrainedStructure(t *testing.T) {
+	// Random topic assignments vs the planted blocks of coherenceCorpus:
+	// block-word topics must score higher coherence than random word sets.
+	c := coherenceCorpus()
+	r := rng.New(3)
+	randomWords := make([]int32, 4)
+	for i := range randomWords {
+		randomWords[i] = int32(r.Intn(c.V))
+	}
+	// The planted topics are the two 4-word blocks.
+	block := UMassCoherence(c, []int32{4, 5, 6, 7})
+	random := UMassCoherence(c, randomWords)
+	if block < random {
+		t.Fatalf("block coherence %.3f below random %.3f", block, random)
+	}
+}

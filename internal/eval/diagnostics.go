@@ -1,0 +1,98 @@
+package eval
+
+import "math"
+
+// TopicDiag holds per-topic health diagnostics, in the spirit of
+// MALLET's topic diagnostics: large-scale runs (the paper trains up to a
+// million topics) need automatic screening for degenerate topics —
+// empty ones, ones dominated by a single word, and ones indistinct from
+// the corpus-wide word distribution.
+type TopicDiag struct {
+	Topic int
+	// Tokens assigned to the topic.
+	Tokens int64
+	// DistinctWords with non-zero count.
+	DistinctWords int
+	// EffectiveWords is exp(entropy) of the topic's word distribution: 1
+	// means one word holds all mass; V means uniform.
+	EffectiveWords float64
+	// TopShare is the probability mass of the topic's 10 most likely
+	// words (close to 1 ⇒ very peaked topic).
+	TopShare float64
+	// CorpusDist is the KL divergence from the topic's word distribution
+	// to the corpus-wide word distribution; near 0 means the topic is an
+	// uninformative copy of the background.
+	CorpusDist float64
+}
+
+// Diagnostics computes TopicDiag for every topic from a V×K word-topic
+// count matrix (row-major by word) with smoothing beta.
+func Diagnostics(cw []int32, v, k int, beta float64) []TopicDiag {
+	// Corpus-wide word distribution (unsmoothed counts, smoothed at use).
+	wordTotals := make([]float64, v)
+	var corpusTotal float64
+	topicTotals := make([]float64, k)
+	for w := 0; w < v; w++ {
+		for t := 0; t < k; t++ {
+			c := float64(cw[w*k+t])
+			wordTotals[w] += c
+			topicTotals[t] += c
+			corpusTotal += c
+		}
+	}
+
+	out := make([]TopicDiag, k)
+	probs := make([]float64, v)
+	betaBar := beta * float64(v)
+	for t := 0; t < k; t++ {
+		d := TopicDiag{Topic: t, Tokens: int64(topicTotals[t])}
+		denom := topicTotals[t] + betaBar
+		var entropy, kl float64
+		for w := 0; w < v; w++ {
+			c := float64(cw[w*k+t])
+			if c > 0 {
+				d.DistinctWords++
+			}
+			p := (c + beta) / denom
+			probs[w] = p
+			entropy -= p * math.Log(p)
+			q := (wordTotals[w] + beta) / (corpusTotal + betaBar)
+			kl += p * math.Log(p/q)
+		}
+		d.EffectiveWords = math.Exp(entropy)
+		d.CorpusDist = kl
+
+		// Mass of the 10 largest probabilities (partial selection).
+		top := topN(probs, 10)
+		for _, p := range top {
+			d.TopShare += p
+		}
+		out[t] = d
+	}
+	return out
+}
+
+// topN returns the n largest values of s (not sorted), O(len(s)·n) with
+// n fixed and small.
+func topN(s []float64, n int) []float64 {
+	if n > len(s) {
+		n = len(s)
+	}
+	best := make([]float64, 0, n)
+	for _, x := range s {
+		if len(best) < n {
+			best = append(best, x)
+			continue
+		}
+		minI := 0
+		for i := 1; i < n; i++ {
+			if best[i] < best[minI] {
+				minI = i
+			}
+		}
+		if x > best[minI] {
+			best[minI] = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// diagMatrix builds a V×K count matrix with three archetypes:
+// topic 0: peaked on word 0; topic 1: uniform over all words; topic 2: empty.
+func diagMatrix(v int) []int32 {
+	const k = 3
+	cw := make([]int32, v*k)
+	cw[0*k+0] = 1000 // topic 0: all mass on word 0
+	for w := 0; w < v; w++ {
+		cw[w*k+1] = 1000 // topic 1: uniform, and heavy enough that the
+		// corpus-wide distribution stays near uniform (so the peaked
+		// topic genuinely diverges from the background)
+	}
+	return cw
+}
+
+func TestDiagnosticsArchetypes(t *testing.T) {
+	const v, k = 50, 3
+	d := Diagnostics(diagMatrix(v), v, k, 0.01)
+	if len(d) != k {
+		t.Fatalf("%d diagnostics, want %d", len(d), k)
+	}
+	peaked, uniform, empty := d[0], d[1], d[2]
+
+	if peaked.Tokens != 1000 || uniform.Tokens != int64(v)*1000 || empty.Tokens != 0 {
+		t.Fatalf("token counts: %d %d %d", peaked.Tokens, uniform.Tokens, empty.Tokens)
+	}
+	if peaked.DistinctWords != 1 || uniform.DistinctWords != v || empty.DistinctWords != 0 {
+		t.Fatalf("distinct words: %d %d %d", peaked.DistinctWords, uniform.DistinctWords, empty.DistinctWords)
+	}
+	// Effective words: ~1 for peaked, ~V for uniform.
+	if peaked.EffectiveWords > 1.5 {
+		t.Errorf("peaked effective words %.2f", peaked.EffectiveWords)
+	}
+	if uniform.EffectiveWords < float64(v)*0.9 {
+		t.Errorf("uniform effective words %.2f, want ~%d", uniform.EffectiveWords, v)
+	}
+	// Top-10 share: ~1 for peaked, ~10/V for uniform.
+	if peaked.TopShare < 0.95 {
+		t.Errorf("peaked top share %.3f", peaked.TopShare)
+	}
+	if math.Abs(uniform.TopShare-10.0/float64(v)) > 0.05 {
+		t.Errorf("uniform top share %.3f, want ~%.3f", uniform.TopShare, 10.0/float64(v))
+	}
+	// Corpus distance: the peaked topic diverges from the (mixed) corpus
+	// distribution far more than the uniform one.
+	if peaked.CorpusDist <= uniform.CorpusDist {
+		t.Errorf("corpus distances: peaked %.3f <= uniform %.3f", peaked.CorpusDist, uniform.CorpusDist)
+	}
+	// KL is non-negative everywhere (up to rounding).
+	for _, x := range d {
+		if x.CorpusDist < -1e-9 {
+			t.Errorf("topic %d negative KL %.3g", x.Topic, x.CorpusDist)
+		}
+	}
+}
+
+func TestDiagnosticsEmptyMatrix(t *testing.T) {
+	const v, k = 5, 2
+	d := Diagnostics(make([]int32, v*k), v, k, 0.1)
+	for _, x := range d {
+		if x.Tokens != 0 || x.DistinctWords != 0 {
+			t.Fatalf("empty matrix diag %+v", x)
+		}
+		// Smoothing-only distribution is uniform.
+		if math.Abs(x.EffectiveWords-v) > 1e-6 {
+			t.Fatalf("empty-topic effective words %.3f", x.EffectiveWords)
+		}
+		if math.Abs(x.CorpusDist) > 1e-9 {
+			t.Fatalf("empty-topic corpus distance %.3g", x.CorpusDist)
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	got := topN([]float64{5, 1, 9, 3, 7}, 3)
+	var sum float64
+	for _, x := range got {
+		sum += x
+	}
+	if len(got) != 3 || sum != 21 { // 9+7+5
+		t.Fatalf("topN = %v", got)
+	}
+	if n := len(topN([]float64{1, 2}, 5)); n != 2 {
+		t.Fatalf("overlong topN length %d", n)
+	}
+}

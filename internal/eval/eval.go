@@ -1,0 +1,215 @@
+// Package eval computes the model-quality metric used throughout the
+// paper's evaluation: the log joint likelihood
+//
+//	L = log p(W, Z | α, β)
+//	  = Σ_d [ lnΓ(ᾱ) − lnΓ(ᾱ+L_d) + Σ_k lnΓ(α_k+C_dk) − lnΓ(α_k) ]
+//	  + Σ_k [ lnΓ(β̄) − lnΓ(β̄+C_k) + Σ_w lnΓ(β+C_kw) − lnΓ(β) ]
+//
+// (Section 6.1), plus per-token perplexity derived from it. All counts
+// are recomputed from the assignment state so the metric is independent
+// of any sampler's internal bookkeeping — a sampler with corrupted
+// incremental counts cannot hide it from the evaluator.
+package eval
+
+import (
+	"math"
+
+	"warplda/internal/corpus"
+)
+
+// lgamma drops the sign math.Lgamma returns; all arguments here are > 0.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// lgammaCache tabulates lnΓ(base + n) for integer n in [0, size). Counts
+// in LDA likelihoods are small non-negative integers offset by a constant
+// hyper-parameter, so a table turns most Lgamma calls into a load.
+type lgammaCache struct {
+	base float64
+	tab  []float64
+}
+
+func newLgammaCache(base float64, size int) *lgammaCache {
+	c := &lgammaCache{base: base, tab: make([]float64, size)}
+	for i := range c.tab {
+		c.tab[i] = lgamma(base + float64(i))
+	}
+	return c
+}
+
+func (c *lgammaCache) at(n int32) float64 {
+	if int(n) < len(c.tab) {
+		return c.tab[n]
+	}
+	return lgamma(c.base + float64(n))
+}
+
+// LogJoint computes log p(W, Z | α, β) for symmetric hyper-parameters.
+// z[d][n] is the topic of token n of document d and must be shaped
+// exactly like c.Docs with values in [0, K).
+func LogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64 {
+	if len(z) != len(c.Docs) {
+		panic("eval: z shape mismatch")
+	}
+	alphaBar := alpha * float64(k)
+	betaBar := beta * float64(c.V)
+
+	lgA := newLgammaCache(alpha, 1024)
+	lgB := newLgammaCache(beta, 1024)
+	lgAlpha := lgamma(alpha)
+	lgBeta := lgamma(beta)
+	lgAlphaBar := lgamma(alphaBar)
+
+	var ll float64
+
+	// Document side. cd is a dense counter with touched-list reset so the
+	// per-document cost is O(L_d), not O(K).
+	cd := make([]int32, k)
+	var touched []int32
+	for d, doc := range c.Docs {
+		zd := z[d]
+		if len(zd) != len(doc) {
+			panic("eval: z shape mismatch")
+		}
+		for _, t := range zd {
+			if cd[t] == 0 {
+				touched = append(touched, t)
+			}
+			cd[t]++
+		}
+		ll += lgAlphaBar - lgamma(alphaBar+float64(len(doc)))
+		for _, t := range touched {
+			ll += lgA.at(cd[t]) - lgAlpha
+			cd[t] = 0
+		}
+		touched = touched[:0]
+	}
+
+	// Word side: scatter topics into word-major order, then one pass per
+	// word with the same touched-list trick; accumulate C_k along the way.
+	wm := corpus.BuildWordMajor(c)
+	topics := make([]int32, c.NumTokens())
+	next := make([]int32, c.V)
+	copy(next, wm.Start[:c.V])
+	for d, doc := range c.Docs {
+		for n, w := range doc {
+			topics[next[w]] = z[d][n]
+			next[w]++
+		}
+	}
+	ck := make([]int64, k)
+	cw := make([]int32, k)
+	for w := 0; w < c.V; w++ {
+		col := topics[wm.Start[w]:wm.Start[w+1]]
+		for _, t := range col {
+			if cw[t] == 0 {
+				touched = append(touched, t)
+			}
+			cw[t]++
+			ck[t]++
+		}
+		for _, t := range touched {
+			ll += lgB.at(cw[t]) - lgBeta
+			cw[t] = 0
+		}
+		touched = touched[:0]
+	}
+	lgBetaBar := lgamma(betaBar)
+	for _, c := range ck {
+		ll += lgBetaBar - lgamma(betaBar+float64(c))
+	}
+	return ll
+}
+
+// LogJointAsym is LogJoint for an asymmetric document-topic prior: the
+// doc-side terms use per-topic α_k (with ᾱ = Σ α_k); the word side is
+// unchanged.
+func LogJointAsym(c *corpus.Corpus, z [][]int32, alphas []float64, beta float64) float64 {
+	k := len(alphas)
+	if len(z) != len(c.Docs) {
+		panic("eval: z shape mismatch")
+	}
+	var alphaBar float64
+	lgAlpha := make([]float64, k)
+	for t, a := range alphas {
+		alphaBar += a
+		lgAlpha[t] = lgamma(a)
+	}
+	lgAlphaBar := lgamma(alphaBar)
+
+	var ll float64
+	cd := make([]int32, k)
+	var touched []int32
+	for d, doc := range c.Docs {
+		zd := z[d]
+		if len(zd) != len(doc) {
+			panic("eval: z shape mismatch")
+		}
+		for _, t := range zd {
+			if cd[t] == 0 {
+				touched = append(touched, t)
+			}
+			cd[t]++
+		}
+		ll += lgAlphaBar - lgamma(alphaBar+float64(len(doc)))
+		for _, t := range touched {
+			ll += lgamma(alphas[t]+float64(cd[t])) - lgAlpha[t]
+			cd[t] = 0
+		}
+		touched = touched[:0]
+	}
+	return ll + wordSideLL(c, z, k, beta)
+}
+
+// wordSideLL computes the word-topic portion of the joint likelihood
+// (identical for symmetric and asymmetric α).
+func wordSideLL(c *corpus.Corpus, z [][]int32, k int, beta float64) float64 {
+	betaBar := beta * float64(c.V)
+	lgB := newLgammaCache(beta, 1024)
+	lgBeta := lgamma(beta)
+	wm := corpus.BuildWordMajor(c)
+	topics := make([]int32, c.NumTokens())
+	next := make([]int32, c.V)
+	copy(next, wm.Start[:c.V])
+	for d, doc := range c.Docs {
+		for n, w := range doc {
+			topics[next[w]] = z[d][n]
+			next[w]++
+		}
+	}
+	var ll float64
+	ck := make([]int64, k)
+	cw := make([]int32, k)
+	var touched []int32
+	for w := 0; w < c.V; w++ {
+		col := topics[wm.Start[w]:wm.Start[w+1]]
+		for _, t := range col {
+			if cw[t] == 0 {
+				touched = append(touched, t)
+			}
+			cw[t]++
+			ck[t]++
+		}
+		for _, t := range touched {
+			ll += lgB.at(cw[t]) - lgBeta
+			cw[t] = 0
+		}
+		touched = touched[:0]
+	}
+	lgBetaBar := lgamma(betaBar)
+	for _, c := range ck {
+		ll += lgBetaBar - lgamma(betaBar+float64(c))
+	}
+	return ll
+}
+
+// Perplexity converts a log joint likelihood over nTokens tokens into the
+// standard exp(−L/T) perplexity scale.
+func Perplexity(logJoint float64, nTokens int) float64 {
+	if nTokens == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logJoint / float64(nTokens))
+}

@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+)
+
+// naiveLogJoint is a direct transcription of the formula using full dense
+// count matrices, used as the reference implementation.
+func naiveLogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64 {
+	d := len(c.Docs)
+	cd := make([][]int32, d)
+	for i := range cd {
+		cd[i] = make([]int32, k)
+	}
+	ckw := make([][]int32, k)
+	for i := range ckw {
+		ckw[i] = make([]int32, c.V)
+	}
+	ck := make([]int64, k)
+	for i, doc := range c.Docs {
+		for n, w := range doc {
+			t := z[i][n]
+			cd[i][t]++
+			ckw[t][w]++
+			ck[t]++
+		}
+	}
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	alphaBar := alpha * float64(k)
+	betaBar := beta * float64(c.V)
+	var ll float64
+	for i, doc := range c.Docs {
+		ll += lg(alphaBar) - lg(alphaBar+float64(len(doc)))
+		for t := 0; t < k; t++ {
+			ll += lg(alpha+float64(cd[i][t])) - lg(alpha)
+		}
+	}
+	for t := 0; t < k; t++ {
+		ll += lg(betaBar) - lg(betaBar+float64(ck[t]))
+		for w := 0; w < c.V; w++ {
+			ll += lg(beta+float64(ckw[t][w])) - lg(beta)
+		}
+	}
+	return ll
+}
+
+func randomAssignments(c *corpus.Corpus, k int, seed uint64) [][]int32 {
+	r := rng.New(seed)
+	z := make([][]int32, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([]int32, len(doc))
+		for n := range doc {
+			z[d][n] = int32(r.Intn(k))
+		}
+	}
+	return z
+}
+
+func TestMatchesNaive(t *testing.T) {
+	c := corpus.GenerateZipf(30, 40, 12, 1.0, 3)
+	const k = 7
+	z := randomAssignments(c, k, 4)
+	got := LogJoint(c, z, k, 0.5, 0.1)
+	want := naiveLogJoint(c, z, k, 0.5, 0.1)
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("LogJoint = %.10g, naive = %.10g", got, want)
+	}
+}
+
+func TestMatchesNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := corpus.GenerateZipf(r.Intn(15)+1, r.Intn(20)+2, 8, 1.0, seed)
+		k := r.Intn(6) + 2
+		z := randomAssignments(c, k, seed+1)
+		alpha := 0.05 + r.Float64()
+		beta := 0.01 + r.Float64()*0.5
+		got := LogJoint(c, z, k, alpha, beta)
+		want := naiveLogJoint(c, z, k, alpha, beta)
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcentratedBeatsRandom(t *testing.T) {
+	// A corpus where topic structure is perfectly recoverable: words 0-9
+	// only in docs 0-4, words 10-19 only in docs 5-9.
+	c := &corpus.Corpus{V: 20, Docs: make([][]int32, 10)}
+	r := rng.New(9)
+	for d := 0; d < 10; d++ {
+		doc := make([]int32, 30)
+		for n := range doc {
+			if d < 5 {
+				doc[n] = int32(r.Intn(10))
+			} else {
+				doc[n] = int32(10 + r.Intn(10))
+			}
+		}
+		c.Docs[d] = doc
+	}
+	const k = 2
+	perfect := make([][]int32, 10)
+	for d := range perfect {
+		perfect[d] = make([]int32, 30)
+		for n := range perfect[d] {
+			if d >= 5 {
+				perfect[d][n] = 1
+			}
+		}
+	}
+	random := randomAssignments(c, k, 10)
+	lPerfect := LogJoint(c, perfect, k, 0.1, 0.01)
+	lRandom := LogJoint(c, random, k, 0.1, 0.01)
+	if lPerfect <= lRandom {
+		t.Fatalf("perfect clustering LL %.3f not above random %.3f", lPerfect, lRandom)
+	}
+}
+
+func TestInvariantToTokenOrder(t *testing.T) {
+	c := corpus.GenerateZipf(10, 15, 10, 1.0, 5)
+	const k = 3
+	z := randomAssignments(c, k, 6)
+	before := LogJoint(c, z, k, 0.2, 0.05)
+	// Reverse tokens (and assignments) of every document: a bag-of-words
+	// metric must not change.
+	for d := range c.Docs {
+		for i, j := 0, len(c.Docs[d])-1; i < j; i, j = i+1, j-1 {
+			c.Docs[d][i], c.Docs[d][j] = c.Docs[d][j], c.Docs[d][i]
+			z[d][i], z[d][j] = z[d][j], z[d][i]
+		}
+	}
+	after := LogJoint(c, z, k, 0.2, 0.05)
+	if math.Abs(before-after) > 1e-9*(1+math.Abs(before)) {
+		t.Fatalf("order dependence: %.10g vs %.10g", before, after)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	c := corpus.GenerateZipf(3, 5, 4, 1.0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LogJoint(c, make([][]int32, 1), 2, 0.1, 0.1)
+}
+
+func TestPerplexity(t *testing.T) {
+	if p := Perplexity(-math.Log(2)*100, 100); math.Abs(p-2) > 1e-9 {
+		t.Fatalf("perplexity = %g, want 2", p)
+	}
+	if !math.IsInf(Perplexity(-1, 0), 1) {
+		t.Fatal("zero tokens should give +inf perplexity")
+	}
+}
+
+func BenchmarkLogJoint(b *testing.B) {
+	c := corpus.GenerateZipf(500, 1000, 100, 1.0, 1)
+	const k = 64
+	z := randomAssignments(c, k, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LogJoint(c, z, k, 0.1, 0.01)
+	}
+}
+
+func TestLogJointAsymMatchesSymmetric(t *testing.T) {
+	c := corpus.GenerateZipf(25, 30, 10, 1.0, 21)
+	const k = 5
+	z := randomAssignments(c, k, 22)
+	sym := LogJoint(c, z, k, 0.3, 0.05)
+	vec := make([]float64, k)
+	for i := range vec {
+		vec[i] = 0.3
+	}
+	asym := LogJointAsym(c, z, vec, 0.05)
+	if math.Abs(sym-asym) > 1e-6*(1+math.Abs(sym)) {
+		t.Fatalf("symmetric %.8g vs vectorized %.8g", sym, asym)
+	}
+}
+
+func TestLogJointAsymPrefersMatchingPrior(t *testing.T) {
+	// All tokens on topic 0: a prior concentrated on topic 0 must score
+	// higher than one concentrated elsewhere.
+	c := corpus.GenerateZipf(10, 12, 8, 1.0, 23)
+	z := make([][]int32, len(c.Docs))
+	for d := range z {
+		z[d] = make([]int32, len(c.Docs[d]))
+	}
+	matching := LogJointAsym(c, z, []float64{5, 0.1, 0.1}, 0.05)
+	mismatched := LogJointAsym(c, z, []float64{0.1, 5, 0.1}, 0.05)
+	if matching <= mismatched {
+		t.Fatalf("matching prior %.3f not above mismatched %.3f", matching, mismatched)
+	}
+}

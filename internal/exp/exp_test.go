@@ -1,0 +1,326 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 7} }
+
+// run executes an experiment in quick mode and returns its report.
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	r, err := Run(id, quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id || len(r.Lines) == 0 {
+		t.Fatalf("%s: empty or mislabeled report", id)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9cd",
+		"table2", "table3", "table4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", quick()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// field extracts whitespace-delimited field i of a line.
+func field(line string, i int) string {
+	f := strings.Fields(line)
+	if i >= len(f) {
+		return ""
+	}
+	return f[i]
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable2ReportsAllAlgorithms(t *testing.T) {
+	r := run(t, "table2")
+	text := r.String()
+	for _, name := range []string{"CGS", "SparseLDA", "AliasLDA", "F+LDA", "LightLDA", "WarpLDA"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("table2 missing %s", name)
+		}
+	}
+}
+
+func TestTable3ReportsThreeDatasets(t *testing.T) {
+	r := run(t, "table3")
+	text := r.String()
+	for _, name := range []string{"NYTimes-like", "PubMed-like", "ClueWeb12-like"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("table3 missing %s", name)
+		}
+	}
+}
+
+// The headline Table 4 shape must hold in the reproduction: WarpLDA's L3
+// miss rate strictly below LightLDA's and F+LDA's in every setting.
+func TestTable4Shape(t *testing.T) {
+	r := run(t, "table4")
+	rows := 0
+	for _, line := range r.Lines {
+		if !strings.Contains(line, "%") || strings.HasPrefix(line, "paper") || strings.Contains(line, "Setting") {
+			continue
+		}
+		f := strings.Fields(line)
+		n := len(f)
+		warp := parseF(t, f[n-1])
+		flda := parseF(t, f[n-2])
+		light := parseF(t, f[n-3])
+		if warp >= light || warp >= flda {
+			t.Errorf("shape violated in %q: warp=%g light=%g flda=%g", line, warp, light, flda)
+		}
+		rows++
+	}
+	if rows < 3 {
+		t.Fatalf("only %d data rows in table4", rows)
+	}
+}
+
+// Fig 4 shape: greedy strictly more balanced than static and dynamic at
+// every partition count.
+func TestFig4Shape(t *testing.T) {
+	r := run(t, "fig4")
+	rows := 0
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] == "partitions" {
+			continue
+		}
+		static := parseF(t, f[1])
+		dynamic := parseF(t, f[2])
+		greedy := parseF(t, f[3])
+		if greedy > static || greedy > dynamic {
+			t.Errorf("greedy %g not best in %q", greedy, line)
+		}
+		rows++
+	}
+	if rows < 4 {
+		t.Fatalf("only %d partition rows", rows)
+	}
+}
+
+// Fig 5 shape: all three samplers improve log-likelihood, and WarpLDA's
+// throughput exceeds LightLDA's.
+func TestFig5Shape(t *testing.T) {
+	r := run(t, "fig5")
+	type tr struct {
+		firstLL, lastLL float64
+		lastThr         float64
+		seen            bool
+	}
+	cur := map[string]*tr{}
+	flush := func() {
+		for name, v := range cur {
+			if !v.seen {
+				continue
+			}
+			if v.lastLL <= v.firstLL {
+				t.Errorf("%s did not improve: %.4g -> %.4g", name, v.firstLL, v.lastLL)
+			}
+		}
+		if w, l := cur["WarpLDA"], cur["LightLDA"]; w != nil && l != nil && w.seen && l.seen {
+			if w.lastThr <= l.lastThr {
+				t.Errorf("WarpLDA throughput %.2f not above LightLDA %.2f", w.lastThr, l.lastThr)
+			}
+		}
+		cur = map[string]*tr{}
+	}
+	for _, line := range r.Lines {
+		if strings.HasPrefix(line, "---") {
+			flush()
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 {
+			continue
+		}
+		name := f[0]
+		if name == "sampler" {
+			continue
+		}
+		ll, err1 := strconv.ParseFloat(f[2], 64)
+		thr, err2 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		v := cur[name]
+		if v == nil {
+			v = &tr{firstLL: ll}
+			cur[name] = v
+		}
+		v.lastLL = ll
+		v.lastThr = thr
+		v.seen = true
+	}
+	flush()
+}
+
+// Fig 7 shape (the paper's phrasing): all five variants need *roughly the
+// same number of iterations* to reach a given log-likelihood. Milestone =
+// the weakest variant's final likelihood; every variant must reach it,
+// and the worst/best iteration ratio must stay small.
+func TestFig7Shape(t *testing.T) {
+	r := run(t, "fig7")
+	traces := map[string][][2]float64{} // (iter, ll) per sampler
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) != 3 || f[0] == "sampler" {
+			continue
+		}
+		iter, err1 := strconv.ParseFloat(f[1], 64)
+		ll, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		traces[f[0]] = append(traces[f[0]], [2]float64{iter, ll})
+	}
+	if len(traces) != 5 {
+		t.Fatalf("fig7 traced %d samplers, want 5", len(traces))
+	}
+	milestone := 0.0
+	firstIter := true
+	for name, tr := range traces {
+		finalLL := tr[len(tr)-1][1]
+		if finalLL <= tr[0][1] {
+			t.Errorf("%s did not improve", name)
+		}
+		if firstIter || finalLL < milestone {
+			milestone = finalLL
+		}
+		firstIter = false
+	}
+	best, worst := -1.0, -1.0
+	for name, tr := range traces {
+		reached := -1.0
+		for _, p := range tr {
+			if p[1] >= milestone {
+				reached = p[0]
+				break
+			}
+		}
+		if reached < 0 {
+			t.Errorf("%s never reached milestone %.4g", name, milestone)
+			continue
+		}
+		if best < 0 || reached < best {
+			best = reached
+		}
+		if reached > worst {
+			worst = reached
+		}
+	}
+	if best > 0 && worst/best > 2.5 {
+		t.Errorf("iteration ratio %0.2f between variants exceeds 2.5", worst/best)
+	}
+}
+
+// Fig 8 shape: every M converges; larger M reaches a no-worse likelihood
+// at the last iteration.
+func TestFig8Shape(t *testing.T) {
+	r := run(t, "fig8")
+	last := map[string]float64{}
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] == "M" {
+			continue
+		}
+		if ll, err := strconv.ParseFloat(f[2], 64); err == nil {
+			last[f[0]] = ll
+		}
+	}
+	if len(last) < 3 {
+		t.Fatalf("fig8 traced %d M values", len(last))
+	}
+	if last["4"] < last["1"]-0.02*absF(last["1"]) {
+		t.Errorf("M=4 final LL %.4g clearly below M=1 %.4g", last["4"], last["1"])
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFig6Runs(t *testing.T) {
+	r := run(t, "fig6")
+	if !strings.Contains(r.String(), "WarpLDA") || !strings.Contains(r.String(), "LightLDA") {
+		t.Fatal("fig6 missing samplers")
+	}
+}
+
+// Fig 9b shape: modeled speedup grows with workers.
+func TestFig9bShape(t *testing.T) {
+	r := run(t, "fig9b")
+	var speedups []float64
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] == "workers" {
+			continue
+		}
+		if s, err := strconv.ParseFloat(f[2], 64); err == nil {
+			speedups = append(speedups, s)
+		}
+	}
+	if len(speedups) != 5 {
+		t.Fatalf("fig9b rows = %d", len(speedups))
+	}
+	if speedups[len(speedups)-1] < 2 {
+		t.Errorf("16-worker modeled speedup %.2f implausibly low", speedups[len(speedups)-1])
+	}
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] < speedups[i-1]*0.9 {
+			t.Errorf("speedup regressed: %v", speedups)
+		}
+	}
+}
+
+func TestFig9aRuns(t *testing.T) {
+	r := run(t, "fig9a")
+	if len(r.Lines) < 4 {
+		t.Fatal("fig9a too short")
+	}
+}
+
+func TestFig9cdRuns(t *testing.T) {
+	r := run(t, "fig9cd")
+	var lls []float64
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] == "iter" {
+			continue
+		}
+		if ll, err := strconv.ParseFloat(f[1], 64); err == nil {
+			lls = append(lls, ll)
+		}
+	}
+	if len(lls) < 2 || lls[len(lls)-1] <= lls[0] {
+		t.Fatalf("fig9cd did not converge: %v", lls)
+	}
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"warplda/internal/corpus"
+	"warplda/internal/rng"
+	"warplda/internal/sparse"
+)
+
+// Fig4 reproduces Figure 4: the imbalance index of the greedy column
+// partitioner against the static (random equal-count) and dynamic
+// (contiguous) baselines, as the number of partitions grows, on a corpus
+// with power-law term frequencies.
+func Fig4(o Options) (*Report, error) {
+	r := &Report{ID: "fig4", Title: "Partition imbalance vs number of partitions"}
+	d := pick(o, 2000, 20000)
+	v := pick(o, 5000, 50000)
+	c := corpus.GenerateZipf(d, v, pick(o, 80.0, 200.0), 0.95, o.seed())
+	tf := c.TermFrequencies()
+	// Emulate stop-word removal as the paper does for ClueWeb12: drop the
+	// heaviest ~0.1% of words, which would otherwise dominate any split.
+	drop := v / 1000
+	if drop < 3 {
+		drop = 3
+	}
+	order := make([]int, len(tf))
+	copy(order, tf)
+	weights := make([]int, 0, len(tf))
+	// Find the drop-th largest frequency with a simple selection.
+	thresh := kthLargest(order, drop)
+	removedBudget := drop
+	for _, f := range tf {
+		if f >= thresh && removedBudget > 0 {
+			removedBudget--
+			continue
+		}
+		weights = append(weights, f)
+	}
+
+	parts := []int{2, 4, 8, 16, 32, 64}
+	if !o.Quick {
+		parts = append(parts, 128, 256, 512)
+	}
+	rsrc := rng.New(o.seed())
+	r.addf("%10s %14s %14s %14s", "partitions", "static", "dynamic", "greedy")
+	for _, p := range parts {
+		static := sparse.ImbalanceIndex(sparse.StaticPartition(weights, p, rsrc).Loads(weights))
+		dynamic := sparse.ImbalanceIndex(sparse.DynamicPartition(weights, p).Loads(weights))
+		greedy := sparse.ImbalanceIndex(sparse.GreedyPartition(weights, p).Loads(weights))
+		r.addf("%10d %14.6g %14.6g %14.6g", p, static, dynamic, greedy)
+	}
+	r.addf("paper shape: greedy orders of magnitude below both baselines until P nears the head word count")
+	return r, nil
+}
+
+// kthLargest returns the k-th largest value of s (1-based), mutating s.
+func kthLargest(s []int, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s) {
+		k = len(s)
+	}
+	lo, hi := 0, len(s)-1
+	want := k - 1 // index in descending order
+	for lo < hi {
+		pivot := s[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] > pivot {
+				i++
+			}
+			for s[j] < pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if want <= j {
+			hi = j
+		} else if want >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return s[want]
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"warplda/internal/baselines"
+	"warplda/internal/core"
+	"warplda/internal/corpus"
+	"warplda/internal/sampler"
+)
+
+// Fig5 reproduces the single-machine convergence comparison of Figure 5:
+// WarpLDA (M=2) vs LightLDA (best M) vs F+LDA on the NYTimes-like and
+// PubMed-like corpora, reporting log-likelihood by iteration, by time,
+// the iteration/time ratios to reach milestone likelihoods, and the
+// token throughput — one block per (corpus, K) setting.
+func Fig5(o Options) (*Report, error) {
+	r := &Report{ID: "fig5", Title: "Convergence: WarpLDA vs LightLDA vs F+LDA"}
+	type setting struct {
+		name    string
+		cfg     corpus.SyntheticConfig
+		k       int
+		lightM  int
+		iters   int
+		everyIt int
+	}
+	settings := []setting{
+		{"NYTimes-like K=small", corpus.NYTimesLike(pick(o, 0.0015, 0.004)), pick(o, 32, 1000), 4, pick(o, 12, 50), pick(o, 2, 5)},
+		{"NYTimes-like K=large", corpus.NYTimesLike(pick(o, 0.0015, 0.004)), pick(o, 128, 4096), 8, pick(o, 12, 50), pick(o, 2, 5)},
+	}
+	if !o.Quick {
+		settings = append(settings,
+			setting{"PubMed-like K=large", corpus.PubMedLike(0.0002), 2048, 8, 40, 5},
+			setting{"PubMed-like K=huge", corpus.PubMedLike(0.0002), 8192, 16, 40, 5},
+		)
+	} else {
+		settings = append(settings,
+			setting{"PubMed-like K=large", corpus.PubMedLike(0.00008), 256, 8, 12, 2},
+		)
+	}
+
+	for _, s := range settings {
+		s.cfg.Seed = o.seed()
+		c, err := corpus.GenerateLDA(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sampler.PaperDefaults(s.k)
+		base.Seed = o.seed()
+
+		warpCfg := base
+		warpCfg.M = 2
+		warp, err := core.New(c, warpCfg)
+		if err != nil {
+			return nil, err
+		}
+		lightCfg := base
+		lightCfg.M = s.lightM
+		light, err := baselines.NewLightLDA(c, lightCfg, baselines.LightLDAOptions{})
+		if err != nil {
+			return nil, err
+		}
+		fldaCfg := base
+		flda, err := baselines.NewFPlusLDA(c, fldaCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		runs := []sampler.Run{
+			sampler.Train(warp, c, warpCfg, s.iters, s.everyIt),
+			sampler.Train(light, c, lightCfg, s.iters, s.everyIt),
+			sampler.Train(flda, c, fldaCfg, s.iters, s.everyIt),
+		}
+
+		r.addf("--- %s (%s, K=%d, LightLDA M=%d) ---", s.name, c.Stats(), s.k, s.lightM)
+		r.addf("%-12s %6s %14s %10s %12s", "sampler", "iter", "logLik", "time(s)", "Mtoken/s")
+		for _, run := range runs {
+			for _, p := range run.Points {
+				r.addf("%-12s %6d %14.4e %10.3f %12.2f", run.Sampler, p.Iter,
+					p.LogLik, p.Elapsed.Seconds(), p.TokensSec/1e6)
+			}
+		}
+
+		// Milestones: the likelihood levels WarpLDA passes at 1/3 and 2/3
+		// of its own trajectory (analogous to the paper's marked levels).
+		warpRun := runs[0]
+		if n := len(warpRun.Points); n >= 3 {
+			for _, frac := range []int{n / 3, 2 * n / 3} {
+				level := warpRun.Points[frac].LogLik
+				r.addf("milestone logLik %.4e:", level)
+				wIter, wTime := warpRun.IterToReach(level), warpRun.TimeToReach(level)
+				for _, run := range runs[1:] {
+					oIter, oTime := run.IterToReach(level), run.TimeToReach(level)
+					iterRatio, timeRatio := -1.0, -1.0
+					if oIter > 0 && wIter > 0 {
+						iterRatio = float64(oIter) / float64(wIter)
+					}
+					if oTime > 0 && wTime > 0 {
+						timeRatio = oTime.Seconds() / wTime.Seconds()
+					}
+					r.addf("  %-12s iter-ratio=%6.2f  time-ratio=%6.2f", run.Sampler, iterRatio, timeRatio)
+				}
+			}
+		}
+	}
+	r.addf("paper shape: WarpLDA needs more iterations but 5-15x less time than LightLDA;")
+	r.addf("faster than F+LDA for K<=1e4, F+LDA closes the gap at very large K")
+	return r, nil
+}

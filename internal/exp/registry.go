@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table2": Table2,
+	"table3": Table3,
+	"table4": Table4,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9a":  Fig9a,
+	"fig9b":  Fig9b,
+	"fig9cd": Fig9cd,
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}

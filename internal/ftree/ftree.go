@@ -1,0 +1,98 @@
+// Package ftree implements the F+ tree used by the F+LDA baseline
+// (Yu et al., WWW 2015): a complete binary tree over K weights that
+// supports point updates and drawing an index with probability
+// proportional to its weight, both in O(log K).
+//
+// Unlike an alias table (O(K) rebuild, O(1) draw), the F+ tree is the
+// right structure when weights change after every token — F+LDA updates
+// the word-topic term of its factorization incrementally as it sweeps a
+// word's tokens.
+package ftree
+
+import "warplda/internal/rng"
+
+// Tree is an F+ tree over leaves 0..K-1. The zero value is unusable; use
+// New.
+type Tree struct {
+	k     int
+	base  int       // first leaf index in node array; power of two ≥ k
+	nodes []float64 // 1-indexed heap: nodes[1] is the root sum
+}
+
+// New returns a tree with all k weights zero.
+func New(k int) *Tree {
+	if k <= 0 {
+		panic("ftree: New with non-positive k")
+	}
+	base := 1
+	for base < k {
+		base <<= 1
+	}
+	return &Tree{k: k, base: base, nodes: make([]float64, 2*base)}
+}
+
+// K returns the number of leaves.
+func (t *Tree) K() int { return t.k }
+
+// Total returns the sum of all weights.
+func (t *Tree) Total() float64 { return t.nodes[1] }
+
+// Get returns the weight of leaf k.
+func (t *Tree) Get(k int) float64 { return t.nodes[t.base+k] }
+
+// Set assigns weight w (≥ 0) to leaf k and repairs the path to the root.
+func (t *Tree) Set(k int, w float64) {
+	if w < 0 {
+		panic("ftree: negative weight")
+	}
+	i := t.base + k
+	delta := w - t.nodes[i]
+	for ; i >= 1; i >>= 1 {
+		t.nodes[i] += delta
+	}
+}
+
+// Add adds delta to leaf k's weight. The result must stay ≥ 0 up to
+// rounding; tiny negative residue is clamped on read by Sample.
+func (t *Tree) Add(k int, delta float64) {
+	i := t.base + k
+	for ; i >= 1; i >>= 1 {
+		t.nodes[i] += delta
+	}
+}
+
+// Build sets all weights at once in O(K), replacing the current contents.
+// len(w) must equal K.
+func (t *Tree) Build(w []float64) {
+	if len(w) != t.k {
+		panic("ftree: Build length mismatch")
+	}
+	for i := range t.nodes {
+		t.nodes[i] = 0
+	}
+	copy(t.nodes[t.base:], w)
+	for i := t.base - 1; i >= 1; i-- {
+		t.nodes[i] = t.nodes[2*i] + t.nodes[2*i+1]
+	}
+}
+
+// Sample draws a leaf with probability proportional to its weight using
+// one uniform variate from r. Total() must be positive.
+func (t *Tree) Sample(r *rng.RNG) int {
+	u := r.Float64() * t.nodes[1]
+	i := 1
+	for i < t.base {
+		left := t.nodes[2*i]
+		if u < left {
+			i = 2 * i
+		} else {
+			u -= left
+			i = 2*i + 1
+		}
+	}
+	k := i - t.base
+	if k >= t.k { // numerical spill into zero-padded leaves
+		k = t.k - 1
+	}
+	return k
+}

@@ -1,0 +1,182 @@
+// Package mapreduce implements the paper's Section 5.1 fallback design:
+// "A basic implementation of this framework is MapReduce ... useful for
+// industrial users who want to build a simple distributed O(1) LDA on
+// top of the existing MapReduce framework."
+//
+// It provides a small in-process MapReduce engine (map → shuffle →
+// reduce over goroutine workers) and the two-job pattern from the paper:
+// VisitByRow is (1) aggregate entries by row, (2) apply the user
+// function to each row and re-emit entries; VisitByColumn is the same
+// keyed by column. The engine exists to demonstrate and test that the
+// WarpLDA computational pattern really does fit MapReduce — the
+// dedicated implementation in internal/sparse is what the samplers use.
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+)
+
+// KV is one key-value pair flowing through a job.
+type KV struct {
+	Key   int64
+	Value []int32
+}
+
+// MapFunc transforms one input pair into zero or more output pairs.
+type MapFunc func(in KV, emit func(KV))
+
+// ReduceFunc folds all values of one key into zero or more output pairs.
+type ReduceFunc func(key int64, values [][]int32, emit func(KV))
+
+// Run executes one MapReduce job over the inputs with the given number
+// of parallel workers (≥ 1). Output order is deterministic: sorted by
+// key, with each key's reducer emissions in order.
+func Run(inputs []KV, m MapFunc, r ReduceFunc, workers int) []KV {
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Map phase: workers process disjoint slices, emitting locally.
+	type shard struct{ out []KV }
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(inputs) {
+			lo = len(inputs)
+		}
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			emit := func(kv KV) { shards[w].out = append(shards[w].out, kv) }
+			for _, in := range inputs[lo:hi] {
+				m(in, emit)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle: group by key.
+	groups := map[int64][][]int32{}
+	for _, s := range shards {
+		for _, kv := range s.out {
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+	}
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	// Reduce phase: workers own disjoint key ranges; emissions are
+	// collected per key to keep the output deterministic.
+	perKey := make([][]KV, len(keys))
+	var rg sync.WaitGroup
+	kchunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * kchunk
+		hi := lo + kchunk
+		if lo > len(keys) {
+			lo = len(keys)
+		}
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		rg.Add(1)
+		go func(lo, hi int) {
+			defer rg.Done()
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				emit := func(kv KV) { perKey[i] = append(perKey[i], kv) }
+				r(k, groups[k], emit)
+			}
+		}(lo, hi)
+	}
+	rg.Wait()
+
+	var out []KV
+	for _, kvs := range perKey {
+		out = append(out, kvs...)
+	}
+	return out
+}
+
+// Entry is one sparse-matrix entry in transit: its cell plus payload.
+// The payload layout matches internal/sparse (z followed by proposals).
+type Entry struct {
+	Row, Col int32
+	Data     []int32
+}
+
+// cellKey packs (row, col) into a shuffle key.
+func cellKey(row, col int32) int64 { return int64(row)<<32 | int64(uint32(col)) }
+
+// VisitByRow runs the paper's two-step MapReduce VisitByRow: entries are
+// keyed by row, each row's entries are handed to fn (which may mutate
+// the payloads), and the updated entries are re-emitted. fn receives the
+// row id and that row's entries sorted by column. fn is invoked
+// concurrently for different rows and must be safe for that (rows are
+// disjoint, so mutating only the received entries is always safe).
+func VisitByRow(entries []Entry, fn func(row int32, es []Entry), workers int) []Entry {
+	return visit(entries, fn, workers, true)
+}
+
+// VisitByColumn is VisitByRow keyed by column (entries sorted by row).
+func VisitByColumn(entries []Entry, fn func(col int32, es []Entry), workers int) []Entry {
+	return visit(entries, fn, workers, false)
+}
+
+func visit(entries []Entry, fn func(int32, []Entry), workers int, byRow bool) []Entry {
+	// Step 1 (map): emit each entry keyed by row (or column), packing the
+	// other coordinate into the value so it survives the shuffle.
+	inputs := make([]KV, len(entries))
+	for i, e := range entries {
+		key := int64(e.Row)
+		other := e.Col
+		if !byRow {
+			key = int64(e.Col)
+			other = e.Row
+		}
+		val := make([]int32, 0, len(e.Data)+1)
+		val = append(val, other)
+		val = append(val, e.Data...)
+		inputs[i] = KV{Key: key, Value: val}
+	}
+	identity := func(in KV, emit func(KV)) { emit(in) }
+
+	// Step 2 (reduce): rebuild the row group, apply fn, re-emit entries.
+	reduce := func(key int64, values [][]int32, emit func(KV)) {
+		es := make([]Entry, len(values))
+		for i, v := range values {
+			if byRow {
+				es[i] = Entry{Row: int32(key), Col: v[0], Data: v[1:]}
+			} else {
+				es[i] = Entry{Row: v[0], Col: int32(key), Data: v[1:]}
+			}
+		}
+		sort.SliceStable(es, func(a, b int) bool {
+			if byRow {
+				return es[a].Col < es[b].Col
+			}
+			return es[a].Row < es[b].Row
+		})
+		fn(int32(key), es)
+		for _, e := range es {
+			emit(KV{Key: cellKey(e.Row, e.Col), Value: append([]int32{e.Row, e.Col}, e.Data...)})
+		}
+	}
+
+	out := Run(inputs, identity, reduce, workers)
+	result := make([]Entry, len(out))
+	for i, kv := range out {
+		result[i] = Entry{Row: kv.Value[0], Col: kv.Value[1], Data: kv.Value[2:]}
+	}
+	return result
+}

@@ -1,0 +1,261 @@
+package mapreduce
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"warplda/internal/corpus"
+	"warplda/internal/eval"
+	"warplda/internal/rng"
+)
+
+func TestRunWordCount(t *testing.T) {
+	// Classic word count: inputs are (wordID, [1]) pairs.
+	inputs := []KV{
+		{Key: 3, Value: []int32{1}},
+		{Key: 1, Value: []int32{1}},
+		{Key: 3, Value: []int32{1}},
+		{Key: 2, Value: []int32{1}},
+		{Key: 3, Value: []int32{1}},
+	}
+	identity := func(in KV, emit func(KV)) { emit(in) }
+	count := func(key int64, values [][]int32, emit func(KV)) {
+		emit(KV{Key: key, Value: []int32{int32(len(values))}})
+	}
+	for _, workers := range []int{1, 2, 7} {
+		out := Run(inputs, identity, count, workers)
+		want := []KV{
+			{Key: 1, Value: []int32{1}},
+			{Key: 2, Value: []int32{1}},
+			{Key: 3, Value: []int32{3}},
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("workers=%d: %v", workers, out)
+		}
+	}
+}
+
+func TestRunMapCanFanOut(t *testing.T) {
+	inputs := []KV{{Key: 0, Value: []int32{5}}}
+	fan := func(in KV, emit func(KV)) {
+		for i := int32(0); i < in.Value[0]; i++ {
+			emit(KV{Key: int64(i), Value: []int32{i}})
+		}
+	}
+	passthrough := func(key int64, values [][]int32, emit func(KV)) {
+		for _, v := range values {
+			emit(KV{Key: key, Value: v})
+		}
+	}
+	out := Run(inputs, fan, passthrough, 3)
+	if len(out) != 5 {
+		t.Fatalf("fan-out produced %d pairs", len(out))
+	}
+}
+
+func randomEntries(seed uint64, n, rows, cols, stride int) []Entry {
+	r := rng.New(seed)
+	es := make([]Entry, n)
+	for i := range es {
+		data := make([]int32, stride)
+		for j := range data {
+			data[j] = int32(r.Intn(100))
+		}
+		es[i] = Entry{Row: int32(r.Intn(rows)), Col: int32(r.Intn(cols)), Data: data}
+	}
+	return es
+}
+
+func entryMultiset(es []Entry) map[string]int {
+	m := map[string]int{}
+	for _, e := range es {
+		key := string(rune(e.Row)) + "/" + string(rune(e.Col))
+		for _, d := range e.Data {
+			key += ":" + string(rune(d))
+		}
+		m[key]++
+	}
+	return m
+}
+
+func TestVisitByRowGroupsCorrectly(t *testing.T) {
+	es := randomEntries(1, 200, 10, 12, 2)
+	var mu sync.Mutex // fn runs concurrently across rows
+	seenRows := map[int32]int{}
+	out := VisitByRow(es, func(row int32, group []Entry) {
+		mu.Lock()
+		seenRows[row] += len(group)
+		mu.Unlock()
+		for _, e := range group {
+			if e.Row != row {
+				t.Fatalf("entry with row %d in group %d", e.Row, row)
+			}
+		}
+		for i := 1; i < len(group); i++ {
+			if group[i].Col < group[i-1].Col {
+				t.Fatal("row group not sorted by column")
+			}
+		}
+	}, 4)
+	total := 0
+	for _, n := range seenRows {
+		total += n
+	}
+	if total != len(es) {
+		t.Fatalf("visited %d entries, want %d", total, len(es))
+	}
+	if !reflect.DeepEqual(entryMultiset(out), entryMultiset(es)) {
+		t.Fatal("entries changed across a read-only visit")
+	}
+}
+
+func TestVisitByColumnMutationsSurvive(t *testing.T) {
+	es := randomEntries(2, 150, 8, 9, 1)
+	out := VisitByColumn(es, func(col int32, group []Entry) {
+		for _, e := range group {
+			e.Data[0] = col * 1000
+		}
+	}, 3)
+	if len(out) != len(es) {
+		t.Fatalf("lost entries: %d vs %d", len(out), len(es))
+	}
+	for _, e := range out {
+		if e.Data[0] != e.Col*1000 {
+			t.Fatalf("mutation lost: col %d data %d", e.Col, e.Data[0])
+		}
+	}
+}
+
+// mrWarpIteration runs one WarpLDA iteration (Alg 2, M=1) entirely on the
+// MapReduce engine — the paper's Section 5.1 claim that the framework
+// maps onto MapReduce, demonstrated end to end.
+func mrWarpIteration(entries []Entry, k int, alpha, beta, betaBar float64, ck []int32, seed uint64, workers int) []Entry {
+	// Word phase: finish doc-proposal chains, redraw word proposals.
+	// Group functions run concurrently, so each gets its own RNG seeded
+	// deterministically by its key.
+	entries = VisitByColumn(entries, func(col int32, group []Entry) {
+		r := rng.New(seed*2654435761 + uint64(col))
+		cw := make(map[int32]int32)
+		for _, e := range group {
+			cw[e.Data[0]]++
+		}
+		for _, e := range group {
+			s, prop := e.Data[0], e.Data[1]
+			if prop != s {
+				pi := (float64(cw[prop]) + beta) / (float64(cw[s]) + beta) *
+					(float64(ck[s]) + betaBar) / (float64(ck[prop]) + betaBar)
+				if pi >= 1 || r.Float64() < pi {
+					e.Data[0] = prop
+				}
+			}
+		}
+		cw = make(map[int32]int32)
+		for _, e := range group {
+			cw[e.Data[0]]++
+		}
+		lw := len(group)
+		pCount := float64(lw) / (float64(lw) + float64(k)*beta)
+		for _, e := range group {
+			if r.Float64() < pCount {
+				e.Data[1] = group[r.Intn(lw)].Data[0]
+			} else {
+				e.Data[1] = int32(r.Intn(k))
+			}
+		}
+	}, workers)
+
+	// Doc phase: finish word-proposal chains, redraw doc proposals.
+	return VisitByRow(entries, func(row int32, group []Entry) {
+		r := rng.New(seed*40503 + uint64(row))
+		cd := make(map[int32]int32)
+		for _, e := range group {
+			cd[e.Data[0]]++
+		}
+		for _, e := range group {
+			s, prop := e.Data[0], e.Data[1]
+			if prop != s {
+				pi := (float64(cd[prop]) + alpha) / (float64(cd[s]) + alpha) *
+					(float64(ck[s]) + betaBar) / (float64(ck[prop]) + betaBar)
+				if pi >= 1 || r.Float64() < pi {
+					e.Data[0] = prop
+				}
+			}
+		}
+		ld := len(group)
+		pCount := float64(ld) / (float64(ld) + alpha*float64(k))
+		for _, e := range group {
+			if r.Float64() < pCount {
+				e.Data[1] = group[r.Intn(ld)].Data[0]
+			} else {
+				e.Data[1] = int32(r.Intn(k))
+			}
+		}
+	}, workers)
+}
+
+func TestWarpLDAOnMapReduceConverges(t *testing.T) {
+	c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+		D: 100, V: 120, K: 4, MeanLen: 30, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	alpha, beta := 50.0/k, 0.01
+	betaBar := beta * float64(c.V)
+	r := rng.New(9)
+
+	var entries []Entry
+	ck := make([]int32, k)
+	for d, doc := range c.Docs {
+		for _, w := range doc {
+			z := int32(r.Intn(k))
+			entries = append(entries, Entry{Row: int32(d), Col: w, Data: []int32{z, z}})
+			ck[z]++
+		}
+	}
+	ll := func(es []Entry) float64 {
+		z := make([][]int32, len(c.Docs))
+		byDoc := map[int32][]Entry{}
+		for _, e := range es {
+			byDoc[e.Row] = append(byDoc[e.Row], e)
+		}
+		for d := range c.Docs {
+			// Order within doc does not affect the bag-of-words metric,
+			// but z must pair with the right word: rebuild docs sorted too.
+			group := byDoc[int32(d)]
+			sort.SliceStable(group, func(a, b int) bool { return group[a].Col < group[b].Col })
+			zd := make([]int32, len(group))
+			for i, e := range group {
+				zd[i] = e.Data[0]
+			}
+			z[d] = zd
+		}
+		// Sort the corpus docs the same way for consistent pairing.
+		sorted := &corpus.Corpus{V: c.V, Docs: make([][]int32, len(c.Docs))}
+		for d, doc := range c.Docs {
+			cp := append([]int32(nil), doc...)
+			sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+			sorted.Docs[d] = cp
+		}
+		return eval.LogJoint(sorted, z, k, alpha, beta)
+	}
+
+	before := ll(entries)
+	for it := 0; it < 20; it++ {
+		entries = mrWarpIteration(entries, k, alpha, beta, betaBar, ck, uint64(it)+1, 3)
+		// M-step: refresh ck.
+		for i := range ck {
+			ck[i] = 0
+		}
+		for _, e := range entries {
+			ck[e.Data[0]]++
+		}
+	}
+	after := ll(entries)
+	if after <= before {
+		t.Fatalf("MapReduce WarpLDA did not converge: %.1f -> %.1f", before, after)
+	}
+}

@@ -1,0 +1,186 @@
+// Package sampler defines the interface shared by every LDA inference
+// algorithm in this repository and a trainer that runs iterations while
+// recording the convergence metrics the paper's figures plot
+// (log-likelihood per iteration, per wall-clock second, and token
+// throughput).
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"warplda/internal/corpus"
+	"warplda/internal/eval"
+)
+
+// Config carries the hyper-parameters common to all samplers. The paper
+// sets α = 50/K and β = 0.01 (Section 6.1).
+type Config struct {
+	K     int     // number of topics
+	Alpha float64 // symmetric document-topic prior
+	Beta  float64 // symmetric topic-word prior
+	M     int     // MH steps per token (MH-based samplers; ignored otherwise)
+	Seed  uint64
+	// Threads is the number of worker goroutines for samplers that
+	// support parallel phases (0 or 1 = serial).
+	Threads int
+	// AlphaVec, when non-nil, is an asymmetric document-topic prior of
+	// length K, overriding Alpha. The paper's equations are written with
+	// per-topic α_k; WarpLDA supports it natively (the smoothing part of
+	// q_doc becomes an alias table over α instead of a uniform draw).
+	AlphaVec []float64
+}
+
+// PaperDefaults returns the paper's hyper-parameter settings for k topics.
+func PaperDefaults(k int) Config {
+	return Config{K: k, Alpha: 50 / float64(k), Beta: 0.01, M: 1, Seed: 42}
+}
+
+// Validate reports configuration errors before a sampler is built.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("sampler: K = %d, want > 0", c.K)
+	}
+	if c.Alpha <= 0 || c.Beta <= 0 {
+		return fmt.Errorf("sampler: non-positive priors α=%g β=%g", c.Alpha, c.Beta)
+	}
+	if c.M < 0 {
+		return fmt.Errorf("sampler: M = %d, want >= 0", c.M)
+	}
+	if c.AlphaVec != nil {
+		if len(c.AlphaVec) != c.K {
+			return fmt.Errorf("sampler: len(AlphaVec) = %d, want K = %d", len(c.AlphaVec), c.K)
+		}
+		for k, a := range c.AlphaVec {
+			if a <= 0 {
+				return fmt.Errorf("sampler: AlphaVec[%d] = %g, want > 0", k, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Alphas returns the per-topic prior vector: AlphaVec when set, else the
+// symmetric expansion of Alpha. The returned slice must not be mutated.
+func (c Config) Alphas() []float64 {
+	if c.AlphaVec != nil {
+		return c.AlphaVec
+	}
+	v := make([]float64, c.K)
+	for k := range v {
+		v[k] = c.Alpha
+	}
+	return v
+}
+
+// AlphaBar returns Σ_k α_k.
+func (c Config) AlphaBar() float64 {
+	if c.AlphaVec == nil {
+		return c.Alpha * float64(c.K)
+	}
+	var s float64
+	for _, a := range c.AlphaVec {
+		s += a
+	}
+	return s
+}
+
+// Sampler is one LDA inference algorithm bound to a corpus.
+type Sampler interface {
+	// Name identifies the algorithm (for reports).
+	Name() string
+	// Iterate performs one full pass over all tokens.
+	Iterate()
+	// Assignments returns the current topic of every token, shaped like
+	// corpus.Docs. Implementations may return an internal buffer; callers
+	// must not mutate it and must copy if they need it across Iterate calls.
+	Assignments() [][]int32
+}
+
+// Point is one evaluation of a training run.
+type Point struct {
+	Iter      int
+	Elapsed   time.Duration // cumulative sampling time, excluding evaluation
+	LogLik    float64
+	TokensSec float64 // mean throughput so far
+}
+
+// Run is the trace of a training run.
+type Run struct {
+	Sampler string
+	Points  []Point
+}
+
+// Train runs iters iterations of s on c, evaluating the log joint
+// likelihood every evalEvery iterations (and after the last). Evaluation
+// time is excluded from Elapsed so convergence-by-time plots reflect
+// sampling cost only, as in the paper.
+func Train(s Sampler, c *corpus.Corpus, cfg Config, iters, evalEvery int) Run {
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	run := Run{Sampler: s.Name()}
+	tokens := c.NumTokens()
+	var elapsed time.Duration
+	for it := 1; it <= iters; it++ {
+		start := time.Now()
+		s.Iterate()
+		elapsed += time.Since(start)
+		if it%evalEvery == 0 || it == iters {
+			var ll float64
+			if cfg.AlphaVec != nil {
+				ll = eval.LogJointAsym(c, s.Assignments(), cfg.AlphaVec, cfg.Beta)
+			} else {
+				ll = eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+			}
+			tps := 0.0
+			if sec := elapsed.Seconds(); sec > 0 {
+				tps = float64(tokens*it) / sec
+			}
+			run.Points = append(run.Points, Point{Iter: it, Elapsed: elapsed, LogLik: ll, TokensSec: tps})
+		}
+	}
+	return run
+}
+
+// Final returns the last recorded point of the run.
+func (r Run) Final() Point {
+	if len(r.Points) == 0 {
+		return Point{}
+	}
+	return r.Points[len(r.Points)-1]
+}
+
+// IterToReach returns the first iteration whose log-likelihood is ≥ ll,
+// or -1 if never reached. This backs the paper's "ratio of iteration"
+// columns in Figure 5.
+func (r Run) IterToReach(ll float64) int {
+	for _, p := range r.Points {
+		if p.LogLik >= ll {
+			return p.Iter
+		}
+	}
+	return -1
+}
+
+// TimeToReach returns the elapsed sampling time of the first point with
+// log-likelihood ≥ ll, or -1 if never reached. Backs the "ratio of time"
+// columns in Figure 5.
+func (r Run) TimeToReach(ll float64) time.Duration {
+	for _, p := range r.Points {
+		if p.LogLik >= ll {
+			return p.Elapsed
+		}
+	}
+	return -1
+}
+
+// CopyAssignments deep-copies an assignment matrix (for tests that
+// compare states across iterations).
+func CopyAssignments(z [][]int32) [][]int32 {
+	out := make([][]int32, len(z))
+	for i, zi := range z {
+		out[i] = append([]int32(nil), zi...)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package sampler
+
+import (
+	"testing"
+	"time"
+
+	"warplda/internal/corpus"
+)
+
+// fakeSampler deterministically improves its assignment quality each
+// iteration so trainer bookkeeping can be verified exactly.
+type fakeSampler struct {
+	c     *corpus.Corpus
+	z     [][]int32
+	iters int
+}
+
+func newFake(c *corpus.Corpus) *fakeSampler {
+	z := make([][]int32, len(c.Docs))
+	for d, doc := range c.Docs {
+		z[d] = make([]int32, len(doc))
+		for n := range doc {
+			// Scattered start: each topic sees all words uniformly
+			// ((n/2+d)%2 is independent of word identity n%4 across docs).
+			z[d][n] = int32((n/2 + d) % 2)
+		}
+	}
+	return &fakeSampler{c: c, z: z}
+}
+
+func (f *fakeSampler) Name() string { return "fake" }
+
+func (f *fakeSampler) Iterate() {
+	f.iters++
+	// Move one more token position per iteration to the word-pure
+	// clustering (topic = word parity): slow, monotone improvement.
+	for d := range f.z {
+		for n := range f.z[d] {
+			if n < f.iters {
+				f.z[d][n] = f.c.Docs[d][n] % 2
+			}
+		}
+	}
+}
+
+func (f *fakeSampler) Assignments() [][]int32 { return f.z }
+
+func fakeCorpus() *corpus.Corpus {
+	c := &corpus.Corpus{V: 4, Docs: make([][]int32, 8)}
+	for d := range c.Docs {
+		doc := make([]int32, 30)
+		for n := range doc {
+			doc[n] = int32(n % 4)
+		}
+		c.Docs[d] = doc
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	good := PaperDefaults(10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{K: 0, Alpha: 1, Beta: 1},
+		{K: 5, Alpha: 0, Beta: 1},
+		{K: 5, Alpha: 1, Beta: 0},
+		{K: 5, Alpha: 1, Beta: 1, M: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	cfg := PaperDefaults(50)
+	if cfg.Alpha != 1.0 || cfg.Beta != 0.01 || cfg.K != 50 {
+		t.Fatalf("PaperDefaults(50) = %+v", cfg)
+	}
+	if cfg2 := PaperDefaults(1000); cfg2.Alpha != 0.05 {
+		t.Fatalf("alpha for K=1000 = %g, want 50/K", cfg2.Alpha)
+	}
+}
+
+func TestTrainRecordsPoints(t *testing.T) {
+	c := fakeCorpus()
+	cfg := PaperDefaults(2)
+	run := Train(newFake(c), c, cfg, 7, 3)
+	// Evaluations at iters 3, 6, 7.
+	if len(run.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(run.Points))
+	}
+	wantIters := []int{3, 6, 7}
+	for i, p := range run.Points {
+		if p.Iter != wantIters[i] {
+			t.Fatalf("point %d at iter %d, want %d", i, p.Iter, wantIters[i])
+		}
+		if p.LogLik >= 0 {
+			t.Fatalf("logLik %g not negative", p.LogLik)
+		}
+		if i > 0 && p.Elapsed < run.Points[i-1].Elapsed {
+			t.Fatal("elapsed time went backwards")
+		}
+	}
+	if run.Sampler != "fake" {
+		t.Fatalf("run.Sampler = %q", run.Sampler)
+	}
+}
+
+func TestTrainEvalEveryDefaults(t *testing.T) {
+	c := fakeCorpus()
+	run := Train(newFake(c), c, PaperDefaults(2), 3, 0)
+	if len(run.Points) != 3 {
+		t.Fatalf("evalEvery=0 should evaluate every iteration, got %d points", len(run.Points))
+	}
+}
+
+func TestReachHelpers(t *testing.T) {
+	run := Run{Points: []Point{
+		{Iter: 2, Elapsed: time.Second, LogLik: -100},
+		{Iter: 4, Elapsed: 2 * time.Second, LogLik: -50},
+		{Iter: 6, Elapsed: 3 * time.Second, LogLik: -20},
+	}}
+	if got := run.IterToReach(-60); got != 4 {
+		t.Fatalf("IterToReach(-60) = %d, want 4", got)
+	}
+	if got := run.TimeToReach(-60); got != 2*time.Second {
+		t.Fatalf("TimeToReach(-60) = %v", got)
+	}
+	if got := run.IterToReach(-1); got != -1 {
+		t.Fatalf("unreachable level: %d", got)
+	}
+	if got := run.TimeToReach(-1); got != -1 {
+		t.Fatalf("unreachable level time: %v", got)
+	}
+	if run.Final().Iter != 6 {
+		t.Fatalf("Final() = %+v", run.Final())
+	}
+	if (Run{}).Final() != (Point{}) {
+		t.Fatal("empty run Final not zero")
+	}
+}
+
+func TestCopyAssignments(t *testing.T) {
+	z := [][]int32{{1, 2}, {3}}
+	cp := CopyAssignments(z)
+	cp[0][0] = 99
+	if z[0][0] != 1 {
+		t.Fatal("copy aliases original")
+	}
+	if len(cp) != 2 || len(cp[1]) != 1 || cp[1][0] != 3 {
+		t.Fatalf("bad copy %v", cp)
+	}
+}
+
+func TestTrainImprovesOnFake(t *testing.T) {
+	c := fakeCorpus()
+	run := Train(newFake(c), c, PaperDefaults(2), 12, 4)
+	first, last := run.Points[0].LogLik, run.Final().LogLik
+	if last <= first {
+		t.Fatalf("concentrating assignments did not raise LL: %g -> %g", first, last)
+	}
+}

@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"sort"
+
+	"warplda/internal/rng"
+)
+
+// A Partition assigns each of n items (words/columns or docs/rows) to one
+// of p parts; Assign[i] is the part of item i.
+type Partition struct {
+	P      int
+	Assign []int32
+}
+
+// Loads returns the total weight per part.
+func (pt *Partition) Loads(weights []int) []int64 {
+	loads := make([]int64, pt.P)
+	for i, part := range pt.Assign {
+		loads[part] += int64(weights[i])
+	}
+	return loads
+}
+
+// ImbalanceIndex is the paper's Figure-4 metric:
+//
+//	(weight of the heaviest part) / (mean part weight) − 1
+//
+// Zero is a perfectly balanced partition.
+func ImbalanceIndex(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max)/mean - 1
+}
+
+// GreedyPartition implements the paper's proposed strategy: sort items by
+// weight in decreasing order, then place each item on the currently
+// lightest part. With a long tail of light items this is near-optimal.
+func GreedyPartition(weights []int, p int) *Partition {
+	pt := &Partition{P: p, Assign: make([]int32, len(weights))}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	loads := make([]int64, p)
+	for _, i := range order {
+		best := 0
+		for j := 1; j < p; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		pt.Assign[i] = int32(best)
+		loads[best] += int64(weights[i])
+	}
+	return pt
+}
+
+// StaticPartition implements the "static" baseline of Figure 4: randomly
+// shuffle the items, then split into p parts with an equal number of
+// items each (ignoring weights).
+func StaticPartition(weights []int, p int, r *rng.RNG) *Partition {
+	n := len(weights)
+	pt := &Partition{P: p, Assign: make([]int32, n)}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for pos, item := range perm {
+		pt.Assign[item] = int32(pos * p / n)
+	}
+	return pt
+}
+
+// DynamicPartition implements the "dynamic" baseline of Figure 4: parts
+// are contiguous slices of the item sequence (no shuffle) but may contain
+// different numbers of items; the cut points are chosen left to right so
+// each part closes once it reaches the ideal weight total/p.
+func DynamicPartition(weights []int, p int) *Partition {
+	n := len(weights)
+	pt := &Partition{P: p, Assign: make([]int32, n)}
+	var total int64
+	for _, w := range weights {
+		total += int64(w)
+	}
+	ideal := float64(total) / float64(p)
+	part := 0
+	var acc int64
+	for i, w := range weights {
+		remainingItems := n - i
+		remainingParts := p - part
+		// Never strand later parts with zero items.
+		if remainingItems > remainingParts && part < p-1 && float64(acc)+float64(w)/2 >= ideal*float64(part+1) {
+			part++
+		}
+		pt.Assign[i] = int32(part)
+		acc += int64(w)
+	}
+	return pt
+}

@@ -1,0 +1,173 @@
+package warplda
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// modelMagic identifies the binary model format; bump the version byte on
+// incompatible changes.
+const modelMagic = "WARPLDA\x01"
+
+// WriteTo serializes the model in a compact binary format (little
+// endian): header, config, counts, optional vocabulary. It implements
+// io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(modelMagic))
+	hdr := []any{
+		int64(m.V), int64(m.Cfg.K),
+		m.Cfg.Alpha, m.Cfg.Beta, m.LogLik,
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	if err := write(m.Cw); err != nil {
+		return n, err
+	}
+	if err := write(m.Ck); err != nil {
+		return n, err
+	}
+	// Vocabulary block: count, then length-prefixed words.
+	hasVocab := int64(0)
+	if m.Vocab != nil {
+		hasVocab = 1
+	}
+	if err := write(hasVocab); err != nil {
+		return n, err
+	}
+	if hasVocab == 1 {
+		for _, word := range m.Vocab {
+			if err := write(int32(len(word))); err != nil {
+				return n, err
+			}
+			if _, err := bw.WriteString(word); err != nil {
+				return n, err
+			}
+			n += int64(len(word))
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("warplda: reading model header: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("warplda: not a model file (bad magic)")
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var v64, k64 int64
+	var alpha, beta, logLik float64
+	for _, p := range []any{&v64, &k64, &alpha, &beta, &logLik} {
+		if err := read(p); err != nil {
+			return nil, fmt.Errorf("warplda: reading model header: %w", err)
+		}
+	}
+	const maxDim = 1 << 31
+	if v64 <= 0 || k64 <= 0 || v64 > maxDim || k64 > maxDim || v64*k64 > maxDim {
+		return nil, fmt.Errorf("warplda: implausible model dims V=%d K=%d", v64, k64)
+	}
+	if !(alpha > 0) || !(beta > 0) || math.IsNaN(logLik) {
+		return nil, fmt.Errorf("warplda: corrupt model hyper-parameters")
+	}
+	m := &Model{
+		Cfg:    Config{K: int(k64), Alpha: alpha, Beta: beta},
+		V:      int(v64),
+		Cw:     make([]int32, v64*k64),
+		Ck:     make([]int64, k64),
+		LogLik: logLik,
+	}
+	if err := read(m.Cw); err != nil {
+		return nil, fmt.Errorf("warplda: reading counts: %w", err)
+	}
+	if err := read(m.Ck); err != nil {
+		return nil, fmt.Errorf("warplda: reading counts: %w", err)
+	}
+	var hasVocab int64
+	if err := read(&hasVocab); err != nil {
+		return nil, fmt.Errorf("warplda: reading vocabulary flag: %w", err)
+	}
+	if hasVocab == 1 {
+		m.Vocab = make([]string, v64)
+		for i := range m.Vocab {
+			var l int32
+			if err := read(&l); err != nil {
+				return nil, fmt.Errorf("warplda: reading vocabulary: %w", err)
+			}
+			if l < 0 || l > 1<<20 {
+				return nil, fmt.Errorf("warplda: implausible word length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("warplda: reading vocabulary: %w", err)
+			}
+			m.Vocab[i] = string(buf)
+		}
+	}
+	return m, nil
+}
+
+// HeldOutPerplexity evaluates the model on unseen documents: each test
+// document is folded in with Gibbs sweeps (see DocTopics) and scored by
+// exp(−(1/T) Σ log p(w | θ̂, Φ̂)) — the standard held-out metric. Lower
+// is better.
+func (m *Model) HeldOutPerplexity(docs [][]int32, sweeps int, seed uint64) float64 {
+	var logp float64
+	tokens := 0
+	for i, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		theta := m.DocTopics(doc, sweeps, seed+uint64(i))
+		for _, w := range doc {
+			var p float64
+			for k := 0; k < m.Cfg.K; k++ {
+				p += theta[k] * m.Phi(int(w), k)
+			}
+			logp += math.Log(p)
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logp / float64(tokens))
+}
+
+// Split partitions a corpus into train and test halves by document,
+// deterministic in seed: each document lands in test with probability
+// testFrac. Both halves share V and Vocab.
+func Split(c *Corpus, testFrac float64, seed uint64) (train, test *Corpus) {
+	r := newFoldInRNG(seed)
+	train = &Corpus{V: c.V, Vocab: c.Vocab}
+	test = &Corpus{V: c.V, Vocab: c.Vocab}
+	for _, doc := range c.Docs {
+		if r.Float64() < testFrac {
+			test.Docs = append(test.Docs, doc)
+		} else {
+			train.Docs = append(train.Docs, doc)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,152 @@
+package warplda
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func trainedModel(t *testing.T, withVocab bool) (*Corpus, *Model) {
+	t.Helper()
+	var c *Corpus
+	if withVocab {
+		c = FromText([]string{
+			"alpha beta gamma alpha beta",
+			"gamma delta alpha beta gamma",
+			"stock bond yield stock bond",
+			"bond yield stock yield bond",
+		}, TokenizeOptions{})
+	} else {
+		c = apiCorpus(t)
+	}
+	m, err := Train(c, Defaults(3), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	_, m := trainedModel(t, true)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != m.V || got.Cfg.K != m.Cfg.K {
+		t.Fatalf("dims changed: %d/%d vs %d/%d", got.V, got.Cfg.K, m.V, m.Cfg.K)
+	}
+	if got.Cfg.Alpha != m.Cfg.Alpha || got.Cfg.Beta != m.Cfg.Beta || got.LogLik != m.LogLik {
+		t.Fatal("hyper-parameters or logLik changed")
+	}
+	if !reflect.DeepEqual(got.Cw, m.Cw) || !reflect.DeepEqual(got.Ck, m.Ck) {
+		t.Fatal("counts changed")
+	}
+	if !reflect.DeepEqual(got.Vocab, m.Vocab) {
+		t.Fatal("vocab changed")
+	}
+	// The deserialized model behaves identically.
+	if !reflect.DeepEqual(got.TopWords(0, 3), m.TopWords(0, 3)) {
+		t.Fatal("TopWords diverges after round trip")
+	}
+}
+
+func TestModelRoundTripNoVocab(t *testing.T) {
+	_, m := trainedModel(t, false)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vocab != nil {
+		t.Fatal("vocab materialized from nothing")
+	}
+	if !reflect.DeepEqual(got.Cw, m.Cw) {
+		t.Fatal("counts changed")
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOTAMODELXXXXXXXXXXXXXXXXXXXXXXX",
+		"truncated": modelMagic,
+	}
+	for name, in := range cases {
+		if _, err := ReadModel(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Corrupt dims.
+	_, m := trainedModel(t, false)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for i := len(modelMagic); i < len(modelMagic)+8; i++ {
+		b[i] = 0xff // V becomes a huge/negative value
+	}
+	if _, err := ReadModel(bytes.NewReader(b)); err == nil {
+		t.Error("corrupt dims accepted")
+	}
+}
+
+func TestSplitPartitionsDocs(t *testing.T) {
+	c := apiCorpus(t)
+	train, test := Split(c, 0.25, 9)
+	if train.NumDocs()+test.NumDocs() != c.NumDocs() {
+		t.Fatal("split lost documents")
+	}
+	if test.NumDocs() == 0 || train.NumDocs() == 0 {
+		t.Fatal("degenerate split")
+	}
+	if train.V != c.V || test.V != c.V {
+		t.Fatal("split changed V")
+	}
+	// Deterministic.
+	tr2, te2 := Split(c, 0.25, 9)
+	if tr2.NumDocs() != train.NumDocs() || te2.NumDocs() != test.NumDocs() {
+		t.Fatal("split not deterministic")
+	}
+}
+
+func TestHeldOutPerplexity(t *testing.T) {
+	c, err := GenerateLDA(SyntheticConfig{D: 400, V: 300, K: 5, MeanLen: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := Split(c, 0.2, 3)
+	trained, err := Train(train, Defaults(5), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppl := trained.HeldOutPerplexity(test.Docs, 10, 5)
+	if math.IsNaN(ppl) || ppl <= 1 {
+		t.Fatalf("implausible perplexity %g", ppl)
+	}
+	// A trained model must beat an untrained one on held-out data.
+	untrained, err := Train(train, Defaults(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pplU := untrained.HeldOutPerplexity(test.Docs, 10, 5)
+	if ppl >= pplU {
+		t.Fatalf("trained ppl %g not below untrained %g", ppl, pplU)
+	}
+	// And both must beat the uniform bound V.
+	if ppl >= float64(c.V) {
+		t.Fatalf("trained ppl %g above uniform bound %d", ppl, c.V)
+	}
+	if inf := trained.HeldOutPerplexity(nil, 5, 1); !math.IsInf(inf, 1) {
+		t.Fatal("no-docs perplexity not +inf")
+	}
+}

@@ -1,0 +1,8 @@
+package warplda
+
+import "warplda/internal/rng"
+
+// newFoldInRNG returns the random source used by Model.DocTopics.
+// Isolated here so the public file stays free of internal imports beyond
+// the facade.
+func newFoldInRNG(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,281 @@
+// Package warplda is a pure-Go implementation of WarpLDA (Chen, Li, Zhu
+// & Chen, VLDB 2016): a cache-efficient O(1)-per-token Metropolis–
+// Hastings sampler for Latent Dirichlet Allocation, together with the
+// baseline samplers the paper evaluates against (collapsed Gibbs,
+// SparseLDA, AliasLDA, F+LDA, LightLDA).
+//
+// Quick start:
+//
+//	c := warplda.GenerateLDA(warplda.SyntheticConfig{D: 1000, V: 2000, K: 20, MeanLen: 100, Seed: 1})
+//	model, err := warplda.Train(c, warplda.Defaults(20), 100)
+//	words := model.TopWords(0, 10) // top words of topic 0
+//
+// The package is a facade: the algorithms live in internal packages and
+// are re-exported here through type aliases, so this is the only import
+// a downstream user needs.
+package warplda
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"warplda/internal/baselines"
+	"warplda/internal/cluster"
+	"warplda/internal/core"
+	"warplda/internal/corpus"
+	"warplda/internal/eval"
+	"warplda/internal/sampler"
+)
+
+// Corpus is a tokenized bag-of-words document collection.
+type Corpus = corpus.Corpus
+
+// Stats summarizes a corpus (D, T, V, T/D).
+type Stats = corpus.Stats
+
+// SyntheticConfig parameterizes the LDA-generative synthetic corpus
+// generator.
+type SyntheticConfig = corpus.SyntheticConfig
+
+// TokenizeOptions configures FromText.
+type TokenizeOptions = corpus.TokenizeOptions
+
+// Config carries sampler hyper-parameters (K, α, β, MH steps, seed,
+// threads).
+type Config = sampler.Config
+
+// Sampler is one LDA inference algorithm bound to a corpus.
+type Sampler = sampler.Sampler
+
+// Run is the recorded trace of a training run; Point is one evaluation.
+type (
+	Run   = sampler.Run
+	Point = sampler.Point
+)
+
+// Defaults returns the paper's hyper-parameters for k topics:
+// α = 50/k, β = 0.01, M = 1.
+func Defaults(k int) Config { return sampler.PaperDefaults(k) }
+
+// GenerateLDA draws a synthetic corpus from the LDA generative process.
+func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) { return corpus.GenerateLDA(cfg) }
+
+// GenerateZipf draws a corpus with Zipf word frequencies (no topic
+// structure); useful for systems experiments.
+func GenerateZipf(d, v int, meanLen, s float64, seed uint64) *Corpus {
+	return corpus.GenerateZipf(d, v, meanLen, s, seed)
+}
+
+// ReadUCI parses the UCI bag-of-words format.
+func ReadUCI(r io.Reader) (*Corpus, error) { return corpus.ReadUCI(r) }
+
+// WriteUCI serializes a corpus in UCI bag-of-words format.
+func WriteUCI(w io.Writer, c *Corpus) error { return corpus.WriteUCI(w, c) }
+
+// ReadVocab reads a one-word-per-line vocabulary file.
+func ReadVocab(r io.Reader) ([]string, error) { return corpus.ReadVocab(r) }
+
+// FromText tokenizes raw documents into a corpus.
+func FromText(docs []string, opts TokenizeOptions) *Corpus { return corpus.FromText(docs, opts) }
+
+// Algorithm names accepted by NewSampler.
+const (
+	WarpLDA   = "warplda"
+	CGS       = "cgs"
+	SparseLDA = "sparselda"
+	AliasLDA  = "aliaslda"
+	FPlusLDA  = "flda"
+	LightLDA  = "lightlda"
+)
+
+// Algorithms lists every available sampler name.
+var Algorithms = []string{WarpLDA, CGS, SparseLDA, AliasLDA, FPlusLDA, LightLDA}
+
+// NewSampler constructs the named inference algorithm over c.
+func NewSampler(name string, c *Corpus, cfg Config) (Sampler, error) {
+	switch name {
+	case WarpLDA:
+		return core.New(c, cfg)
+	case CGS:
+		return baselines.NewCGS(c, cfg)
+	case SparseLDA:
+		return baselines.NewSparseLDA(c, cfg)
+	case AliasLDA:
+		return baselines.NewAliasLDA(c, cfg)
+	case FPlusLDA:
+		return baselines.NewFPlusLDA(c, cfg)
+	case LightLDA:
+		return baselines.NewLightLDA(c, cfg, baselines.LightLDAOptions{})
+	default:
+		return nil, fmt.Errorf("warplda: unknown algorithm %q (have %v)", name, Algorithms)
+	}
+}
+
+// NewDistributed constructs the physically sharded WarpLDA sampler of
+// the paper's Section 5.3: workers own disjoint token shards and
+// exchange them between the word and doc phases. On a single machine it
+// behaves like NewSampler(WarpLDA, ...) with extra coordination; it
+// exists for studying the distributed execution model.
+func NewDistributed(c *Corpus, cfg Config, workers int) (Sampler, error) {
+	return cluster.NewDistributed(c, cfg, workers)
+}
+
+// TrainSampler runs iters iterations of s, evaluating log-likelihood
+// every evalEvery iterations, and returns the convergence trace.
+func TrainSampler(s Sampler, c *Corpus, cfg Config, iters, evalEvery int) Run {
+	return sampler.Train(s, c, cfg, iters, evalEvery)
+}
+
+// LogLikelihood computes log p(W, Z | α, β) for the sampler's current
+// state.
+func LogLikelihood(c *Corpus, s Sampler, cfg Config) float64 {
+	return eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
+}
+
+// Model is a trained LDA model: the MAP point estimates of Eq. 4 derived
+// from the final assignment counts.
+type Model struct {
+	Cfg    Config
+	V      int
+	Vocab  []string // may be nil
+	Cw     []int32  // V×K word-topic counts
+	Ck     []int64  // K global topic counts
+	LogLik float64
+}
+
+// Train runs WarpLDA for iters iterations over c with the paper's
+// defaults in cfg and returns the trained model.
+func Train(c *Corpus, cfg Config, iters int) (*Model, error) {
+	s, err := NewSampler(WarpLDA, c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < iters; i++ {
+		s.Iterate()
+	}
+	return Snapshot(c, s, cfg), nil
+}
+
+// Snapshot extracts a Model from any sampler's current state.
+func Snapshot(c *Corpus, s Sampler, cfg Config) *Model {
+	m := &Model{
+		Cfg:   cfg,
+		V:     c.V,
+		Vocab: c.Vocab,
+		Cw:    make([]int32, c.V*cfg.K),
+		Ck:    make([]int64, cfg.K),
+	}
+	z := s.Assignments()
+	for d, doc := range c.Docs {
+		for n, w := range doc {
+			t := z[d][n]
+			m.Cw[int(w)*cfg.K+int(t)]++
+			m.Ck[t]++
+		}
+	}
+	m.LogLik = eval.LogJoint(c, z, cfg.K, cfg.Alpha, cfg.Beta)
+	return m
+}
+
+// Phi returns the MAP estimate φ̂_wk = (C_wk+β)/(C_k+β̄) for one word and
+// topic.
+func (m *Model) Phi(w, k int) float64 {
+	betaBar := m.Cfg.Beta * float64(m.V)
+	return (float64(m.Cw[w*m.Cfg.K+k]) + m.Cfg.Beta) / (float64(m.Ck[k]) + betaBar)
+}
+
+// TopWords returns the n most probable words of topic k, as vocabulary
+// strings when the corpus had a vocabulary and as "word<id>" otherwise.
+func (m *Model) TopWords(k, n int) []string {
+	type ws struct {
+		w int
+		p float64
+	}
+	all := make([]ws, m.V)
+	for w := 0; w < m.V; w++ {
+		all[w] = ws{w, float64(m.Cw[w*m.Cfg.K+k])}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].p > all[b].p })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if m.Vocab != nil {
+			out[i] = m.Vocab[all[i].w]
+		} else {
+			out[i] = fmt.Sprintf("word%d", all[i].w)
+		}
+	}
+	return out
+}
+
+// TopicDiag holds per-topic health diagnostics; see Model.Diagnostics.
+type TopicDiag = eval.TopicDiag
+
+// Diagnostics returns per-topic diagnostics (token mass, distinct and
+// effective word counts, top-word concentration, distance from the
+// corpus distribution) — the screening one runs before trusting topics
+// from a large-K model.
+func (m *Model) Diagnostics() []TopicDiag {
+	return eval.Diagnostics(m.Cw, m.V, m.Cfg.K, m.Cfg.Beta)
+}
+
+// Coherence returns the UMass topic-coherence score of topic k, computed
+// from the top-n words' document co-occurrences in c. Higher (closer to
+// zero) is better; use it to compare runs or detect junk topics.
+func (m *Model) Coherence(c *Corpus, k, n int) float64 {
+	top := eval.TopWordsByCount(m.Cw, m.V, m.Cfg.K, k, n)
+	return eval.UMassCoherence(c, top)
+}
+
+// DocTopics infers the topic mixture θ̂ of an (unseen or training)
+// document by folding in: a few Gibbs sweeps over the document's tokens
+// against the frozen model.
+func (m *Model) DocTopics(doc []int32, sweeps int, seed uint64) []float64 {
+	k := m.Cfg.K
+	theta := make([]float64, k)
+	if len(doc) == 0 {
+		for i := range theta {
+			theta[i] = 1 / float64(k)
+		}
+		return theta
+	}
+	if sweeps < 1 {
+		sweeps = 5
+	}
+	r := newFoldInRNG(seed)
+	z := make([]int32, len(doc))
+	cd := make([]int32, k)
+	for n := range doc {
+		z[n] = int32(r.Intn(k))
+		cd[z[n]]++
+	}
+	probs := make([]float64, k)
+	for s := 0; s < sweeps; s++ {
+		for n, w := range doc {
+			cd[z[n]]--
+			var sum float64
+			for t := 0; t < k; t++ {
+				sum += (float64(cd[t]) + m.Cfg.Alpha) * m.Phi(int(w), t)
+				probs[t] = sum
+			}
+			u := r.Float64() * sum
+			nt := int32(k - 1)
+			for t := 0; t < k; t++ {
+				if u < probs[t] {
+					nt = int32(t)
+					break
+				}
+			}
+			z[n] = nt
+			cd[nt]++
+		}
+	}
+	alphaBar := m.Cfg.Alpha * float64(k)
+	for t := 0; t < k; t++ {
+		theta[t] = (float64(cd[t]) + m.Cfg.Alpha) / (float64(len(doc)) + alphaBar)
+	}
+	return theta
+}
