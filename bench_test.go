@@ -6,10 +6,12 @@
 package warplda
 
 import (
+	"sync"
 	"testing"
 
 	"warplda/internal/core"
 	"warplda/internal/exp"
+	"warplda/internal/infer"
 	"warplda/internal/sampler"
 )
 
@@ -107,6 +109,90 @@ func BenchmarkAblationSortedCSC(b *testing.B) {
 
 func BenchmarkAblationShuffledCSC(b *testing.B) {
 	benchWarpOptions(b, 1024, core.Options{ShuffleTokens: true})
+}
+
+// --- Inference serving benchmarks (internal/infer engine) ---
+
+var inferBench struct {
+	sync.Once
+	model *Model
+	docs  [][]int32
+	err   error
+}
+
+// inferBenchSetup trains one moderately sized model (K=100) and carves
+// out a query batch; shared across the inference benchmarks so the
+// training cost is paid once per `go test -bench` process.
+func inferBenchSetup(b *testing.B) (*Model, [][]int32) {
+	b.Helper()
+	inferBench.Do(func() {
+		c, err := GenerateLDA(SyntheticConfig{
+			D: 1200, V: 4000, K: 100, MeanLen: 80, Alpha: 0.1, Beta: 0.01, Seed: 5,
+		})
+		if err != nil {
+			inferBench.err = err
+			return
+		}
+		cfg := Defaults(100)
+		cfg.M = 2
+		inferBench.model, inferBench.err = Train(c, cfg, 20)
+		inferBench.docs = c.Docs[:256]
+	})
+	if inferBench.err != nil {
+		b.Fatal(inferBench.err)
+	}
+	return inferBench.model, inferBench.docs
+}
+
+const inferBenchSweeps = 20
+
+// BenchmarkInferNaiveGibbs is the pre-engine baseline: one doc at a
+// time, O(K) per token (infer.ReferenceGibbs, the single authoritative
+// copy of the old Model.DocTopics).
+func BenchmarkInferNaiveGibbs(b *testing.B) {
+	m, docs := inferBenchSetup(b)
+	p := infer.Params{
+		V: m.V, K: m.Cfg.K, Alpha: m.Cfg.Alpha, Beta: m.Cfg.Beta,
+		Cw: m.Cw, Ck: m.Ck,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, doc := range docs {
+			infer.ReferenceGibbs(p, doc, inferBenchSweeps, uint64(j))
+		}
+	}
+	b.ReportMetric(float64(len(docs)*b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkInferSequential is the engine-backed Model.DocTopics loop:
+// one doc at a time, O(1) per token, single goroutine.
+func BenchmarkInferSequential(b *testing.B) {
+	m, docs := inferBenchSetup(b)
+	m.DocTopics(docs[0], 1, 0) // force the lazy engine build out of the timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, doc := range docs {
+			m.DocTopics(doc, inferBenchSweeps, uint64(j))
+		}
+	}
+	b.ReportMetric(float64(len(docs)*b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkInferBatched is the serving path: the whole batch sharded
+// across the engine's worker pool (GOMAXPROCS workers).
+func BenchmarkInferBatched(b *testing.B) {
+	m, docs := inferBenchSetup(b)
+	eng, err := NewInferEngine(m, InferOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.InferBatch(docs, inferBenchSweeps, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(docs)*b.N)/b.Elapsed().Seconds(), "docs/s")
 }
 
 // End-to-end throughput of the public API's default sampler.

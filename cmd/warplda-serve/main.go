@@ -1,0 +1,95 @@
+// Command warplda-serve answers topic-inference queries over HTTP
+// against a trained model snapshot (written by warplda-train -save).
+// Per-word proposal tables are built once at startup; each request
+// document is folded in with the O(1)-per-token MH engine, and batches
+// are sharded across a worker pool.
+//
+// Usage:
+//
+//	warplda-train -corpus corpus.uci -topics 100 -iters 200 -save model.bin
+//	warplda-serve -model model.bin -addr :8080
+//
+// Query with token ids, or with raw text when the model has a
+// vocabulary:
+//
+//	curl -s localhost:8080/infer -d '{"docs": [[0, 5, 7, 5]]}'
+//	curl -s localhost:8080/infer -d '{"texts": ["stock market prices"], "sweeps": 30}'
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warplda"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model snapshot written by warplda-train -save (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		sweeps    = flag.Int("sweeps", 20, "default fold-in sweeps per document")
+		mhSteps   = flag.Int("mh", 2, "MH proposal pairs per token per sweep")
+		workers   = flag.Int("workers", 0, "inference worker goroutines (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 1024, "maximum documents per request")
+		seed      = flag.Uint64("seed", 42, "base RNG seed (responses are deterministic in it)")
+	)
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "warplda-serve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatalf("warplda-serve: %v", err)
+	}
+	model, err := warplda.ReadModel(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("warplda-serve: %v", err)
+	}
+	log.Printf("model: V=%d K=%d vocab=%v logLik=%.4e",
+		model.V, model.Cfg.K, model.Vocab != nil, model.LogLik)
+
+	handler, err := NewServer(model, ServeOptions{
+		Sweeps:   *sweeps,
+		MaxBatch: *maxBatch,
+		Seed:     *seed,
+		Infer:    warplda.InferOptions{MHSteps: *mhSteps, Workers: *workers},
+	})
+	if err != nil {
+		log.Fatalf("warplda-serve: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("warplda-serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("warplda-serve: shutdown: %v", err)
+	}
+}

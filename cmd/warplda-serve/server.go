@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"warplda"
+	"warplda/internal/corpus"
+)
+
+// ServeOptions configure the HTTP layer around one model.
+type ServeOptions struct {
+	// Sweeps is the default fold-in sweep count when a request does not
+	// set one. 0 means 20.
+	Sweeps int
+	// MaxSweeps caps the per-request sweep count. 0 means 500.
+	MaxSweeps int
+	// MaxBatch caps the number of documents per request. 0 means 1024.
+	MaxBatch int
+	// MaxBodyBytes caps the request body size. 0 means 32 MiB.
+	MaxBodyBytes int64
+	// Seed is the base RNG seed; per-document seeds are derived from it
+	// and the document content, so responses are deterministic.
+	Seed uint64
+	// Engine options (MH steps, worker-pool size).
+	Infer warplda.InferOptions
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Sweeps <= 0 {
+		o.Sweeps = 20
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 500
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// inferRequest is the POST /infer body. Exactly one of Docs (token id
+// arrays) or Texts (raw text, requires a model vocabulary) must be set.
+type inferRequest struct {
+	Docs   [][]int32 `json:"docs,omitempty"`
+	Texts  []string  `json:"texts,omitempty"`
+	Sweeps int       `json:"sweeps,omitempty"`
+}
+
+// inferResponse is the POST /infer reply: one topic distribution (and
+// its argmax) per input document, in input order.
+type inferResponse struct {
+	Topics [][]float64 `json:"topics"`
+	Top    []int       `json:"top"`
+	TookMs float64     `json:"took_ms"`
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	V          int    `json:"v"`
+	K          int    `json:"k"`
+	HasVocab   bool   `json:"has_vocab"`
+	DocsServed int64  `json:"docs_served"`
+}
+
+// server owns one model, its prebuilt inference engine, and the
+// vocabulary index for text queries.
+type server struct {
+	model  *warplda.Model
+	engine *warplda.InferEngine
+	vocab  map[string]int32 // nil when the model has no vocabulary
+	opts   ServeOptions
+	served atomic.Int64
+}
+
+// NewServer builds the /infer + /healthz handler for m. The engine's
+// per-word proposal tables are built here, once, so request handling
+// never pays the O(V·K) setup cost.
+func NewServer(m *warplda.Model, opts ServeOptions) (http.Handler, error) {
+	opts = opts.withDefaults()
+	eng, err := warplda.NewInferEngine(m, opts.Infer)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{model: m, engine: eng, opts: opts}
+	if m.Vocab != nil {
+		s.vocab = make(map[string]int32, len(m.Vocab))
+		for i, w := range m.Vocab {
+			s.vocab[w] = int32(i)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux, nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		V:          s.model.V,
+		K:          s.model.Cfg.K,
+		HasVocab:   s.vocab != nil,
+		DocsServed: s.served.Load(),
+	})
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req inferRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	docs, status, err := s.resolveDocs(&req)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	sweeps := req.Sweeps
+	if sweeps <= 0 {
+		sweeps = s.opts.Sweeps
+	}
+	if sweeps > s.opts.MaxSweeps {
+		sweeps = s.opts.MaxSweeps
+	}
+
+	start := time.Now()
+	topics, err := s.engine.InferBatch(docs, sweeps, s.opts.Seed)
+	if err != nil {
+		// Word ids out of the model's range are a caller error.
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.served.Add(int64(len(docs)))
+
+	top := make([]int, len(topics))
+	for i, theta := range topics {
+		for k, p := range theta {
+			if p > theta[top[i]] {
+				top[i] = k
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, inferResponse{
+		Topics: topics,
+		Top:    top,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// resolveDocs turns the request into token-id documents, tokenizing
+// Texts against the model vocabulary when needed.
+func (s *server) resolveDocs(req *inferRequest) ([][]int32, int, error) {
+	switch {
+	case req.Docs != nil && req.Texts != nil:
+		return nil, http.StatusBadRequest, fmt.Errorf("set either docs or texts, not both")
+	case req.Docs != nil:
+		if len(req.Docs) > s.opts.MaxBatch {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d docs exceeds limit %d", len(req.Docs), s.opts.MaxBatch)
+		}
+		return req.Docs, 0, nil
+	case req.Texts != nil:
+		if s.vocab == nil {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("model has no vocabulary; send token ids via docs")
+		}
+		if len(req.Texts) > s.opts.MaxBatch {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d texts exceeds limit %d", len(req.Texts), s.opts.MaxBatch)
+		}
+		docs := make([][]int32, len(req.Texts))
+		for i, text := range req.Texts {
+			// Two-level lookup: a lowercased whitespace field is tried
+			// verbatim first, so vocabularies with entries Normalize
+			// can't emit (underscored entities like "zzz_new_york" in
+			// the UCI NYTimes vocab) still match; otherwise the field
+			// gets the character normalization FromText applies at
+			// training time, whose stopword/frequency filters the
+			// vocabulary lookup subsumes (filtered words never got an
+			// id). Out-of-vocabulary words carry no information under
+			// the trained Φ̂ and are dropped.
+			for _, field := range strings.Fields(strings.ToLower(text)) {
+				if id, ok := s.vocab[field]; ok {
+					docs[i] = append(docs[i], id)
+					continue
+				}
+				for _, tok := range corpus.Normalize(field) {
+					if id, ok := s.vocab[tok]; ok {
+						docs[i] = append(docs[i], id)
+					}
+				}
+			}
+		}
+		return docs, 0, nil
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("empty request: set docs or texts")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

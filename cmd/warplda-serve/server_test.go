@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"warplda"
+	"warplda/internal/corpus"
+)
+
+func testHandler(t *testing.T) (http.Handler, *warplda.Model) {
+	t.Helper()
+	docs := make([]string, 0, 40)
+	for i := 0; i < 20; i++ {
+		docs = append(docs, "gopher compiler runtime goroutine gopher compiler runtime")
+		docs = append(docs, "stock market price bond stock market price")
+	}
+	c := warplda.FromText(docs, warplda.TokenizeOptions{})
+	cfg := warplda.Defaults(2)
+	cfg.Alpha = 0.2
+	m, err := warplda.Train(c, cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewServer(m, ServeOptions{Sweeps: 30, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m
+}
+
+func postInfer(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, inferResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp inferResponse
+	if rec.Code == http.StatusOK {
+		if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return rec, resp
+}
+
+func TestInferWithTokenIDs(t *testing.T) {
+	h, m := testHandler(t)
+	rec, resp := postInfer(t, h, `{"docs": [[0,1,2,0,1], [], [3,4,5,3]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Topics) != 3 || len(resp.Top) != 3 {
+		t.Fatalf("got %d topic rows, %d top entries", len(resp.Topics), len(resp.Top))
+	}
+	for i, theta := range resp.Topics {
+		if len(theta) != m.Cfg.K {
+			t.Fatalf("doc %d: %d components, want K=%d", i, len(theta), m.Cfg.K)
+		}
+		var sum float64
+		for _, p := range theta {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d: θ̂ sums to %g", i, sum)
+		}
+	}
+	// Empty doc: uniform over K=2.
+	if math.Abs(resp.Topics[1][0]-0.5) > 1e-12 {
+		t.Fatalf("empty doc θ̂ = %v", resp.Topics[1])
+	}
+}
+
+func TestInferWithTextsSeparatesDomains(t *testing.T) {
+	h, _ := testHandler(t)
+	rec, resp := postInfer(t, h,
+		`{"texts": ["Gopher compiler, runtime!", "stock market price"], "sweeps": 40}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if resp.Top[0] == resp.Top[1] {
+		t.Fatalf("tech and finance docs mapped to the same topic: %+v", resp)
+	}
+}
+
+func TestInferDeterministicResponses(t *testing.T) {
+	h, _ := testHandler(t)
+	_, a := postInfer(t, h, `{"docs": [[0,1,2,3]]}`)
+	_, b := postInfer(t, h, `{"docs": [[0,1,2,3]]}`)
+	if !reflect.DeepEqual(a.Topics, b.Topics) {
+		t.Fatal("identical requests got different answers")
+	}
+}
+
+func TestInferRejectsBadRequests(t *testing.T) {
+	h, _ := testHandler(t)
+	cases := map[string]struct {
+		body string
+		code int
+	}{
+		"invalid json":      {`{"docs": [[0,`, http.StatusBadRequest},
+		"unknown field":     {`{"documents": [[0]]}`, http.StatusBadRequest},
+		"both docs+texts":   {`{"docs": [[0]], "texts": ["x"]}`, http.StatusBadRequest},
+		"neither":           {`{}`, http.StatusBadRequest},
+		"word out of range": {`{"docs": [[99999]]}`, http.StatusBadRequest},
+		"over max batch":    {`{"docs": [[0],[0],[0],[0],[0],[0],[0],[0],[0]]}`, http.StatusRequestEntityTooLarge},
+	}
+	for name, tc := range cases {
+		rec, _ := postInfer(t, h, tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", name, rec.Code, tc.code, rec.Body)
+		}
+	}
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/infer", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /infer: status %d", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h, m := testHandler(t)
+	// Serve one batch first so the counter moves.
+	postInfer(t, h, `{"docs": [[0,1],[2,3]]}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(rec.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.V != m.V || hr.K != m.Cfg.K || !hr.HasVocab {
+		t.Fatalf("health = %+v", hr)
+	}
+	if hr.DocsServed != 2 {
+		t.Fatalf("docs_served = %d, want 2", hr.DocsServed)
+	}
+}
+
+// End-to-end through the serialization format: a model written the way
+// warplda-train -save writes it must serve identically after reload.
+func TestServeModelRoundTrip(t *testing.T) {
+	_, m := testHandler(t)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := warplda.ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewServer(reloaded, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, resp := postInfer(t, h, `{"texts": ["gopher compiler runtime"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Topics) != 1 {
+		t.Fatalf("topics = %v", resp.Topics)
+	}
+}
+
+func TestTextNormalization(t *testing.T) {
+	// The server shares corpus.Normalize with training-side FromText so
+	// query words land on training vocabulary ids.
+	got := corpus.Normalize("Hello, World! 2nd try—foo_bar")
+	want := []string{"hello", "world", "2nd", "try", "foo", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+}
+
+// Vocabularies loaded from external files (warplda-train -vocab) can
+// hold entries corpus.Normalize would split, like UCI's underscored
+// entities. The verbatim whitespace-field lookup must match them.
+func TestTextsMatchExternalVocabEntities(t *testing.T) {
+	cfg := warplda.Defaults(2)
+	cfg.Alpha = 0.01 // sharp θ̂ so resolved vs dropped tokens are distinguishable
+	m := &warplda.Model{
+		Cfg:   cfg,
+		V:     3,
+		Vocab: []string{"zzz_new_york", "market", "gopher"},
+		Cw:    []int32{50, 1, 1, 50, 5, 5}, // word 0 is decisively topic 0
+		Ck:    []int64{56, 56},
+	}
+	h, err := NewServer(m, ServeOptions{Sweeps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, resp := postInfer(t, h,
+		`{"texts": ["Zzz_New_York zzz_new_york ZZZ_NEW_YORK zzz_new_york"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Topics) != 1 {
+		t.Fatalf("topics = %v", resp.Topics)
+	}
+	// If the entity resolved, four topic-0 tokens with α=0.01 force
+	// θ̂₀ ≈ 1; if it was dropped as OOV the doc is empty and θ̂ is
+	// exactly uniform (0.5).
+	if resp.Topics[0][0] < 0.9 {
+		t.Fatalf("entity token did not resolve; θ̂ = %v", resp.Topics[0])
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	_, m := testHandler(t)
+	h, err := NewServer(m, ServeOptions{MaxBodyBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := postInfer(t, h, `{"docs": [[`+strings.Repeat("0,", 100)+`0]]}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", rec.Code, rec.Body)
+	}
+}

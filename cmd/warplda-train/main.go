@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	warplda-train -corpus corpus.uci -topics 100 -iters 200
+//	warplda-train -corpus corpus.uci -topics 100 -iters 200 -save model.bin
 //	warplda-train -corpus docword.nytimes.txt -vocab vocab.nytimes.txt \
 //	    -algo warplda -topics 1000 -m 2 -iters 300 -eval-every 10
+//
+// A model saved with -save is the snapshot cmd/warplda-serve loads.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "random seed")
 		topWords   = flag.Int("top-words", 10, "top words to print per topic")
 		maxTopics  = flag.Int("print-topics", 10, "number of topics to print")
+		savePath   = flag.String("save", "", "write the trained model snapshot here (for warplda-serve)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,20 @@ func main() {
 	}
 
 	model := warplda.Snapshot(c, s, cfg)
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := model.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
 	n := *maxTopics
 	if n > *topics {
 		n = *topics

@@ -1,0 +1,3 @@
+module warplda
+
+go 1.22

@@ -1,0 +1,65 @@
+package warplda
+
+import (
+	"sync"
+
+	"warplda/internal/infer"
+)
+
+// InferEngine answers fold-in queries against a frozen trained model in
+// O(1) per token: per-word sparse alias tables over Φ̂ are precomputed
+// once at construction and amortized across all requests, and
+// InferBatch shards document batches across a worker pool. Engines are
+// safe for concurrent use. See NewInferEngine.
+type InferEngine = infer.Engine
+
+// InferOptions tune an InferEngine (MH steps per token, worker-pool
+// size). The zero value picks sensible defaults.
+type InferOptions = infer.Options
+
+// NewInferEngine builds a reusable inference engine over m. The engine
+// retains m's count matrices; do not mutate them while it is in use.
+// Construction is O(V·K) — build one engine per model and reuse it, as
+// cmd/warplda-serve does.
+func NewInferEngine(m *Model, opts InferOptions) (*InferEngine, error) {
+	return infer.NewEngine(infer.Params{
+		V: m.V, K: m.Cfg.K,
+		Alpha: m.Cfg.Alpha, Beta: m.Cfg.Beta,
+		Cw: m.Cw, Ck: m.Ck,
+	}, opts)
+}
+
+// inferEngineMu guards the cached-engine pointer below. Package-level
+// so Model carries no lock and stays copyable. The lock is held only
+// for the pointer load/store — never across the O(V·K) build — so
+// models cannot stall each other; the remaining per-call cost is one
+// uncontended mutex round trip. Callers answering heavy concurrent
+// query traffic should hold their own engine (NewInferEngine), as
+// cmd/warplda-serve does.
+var inferEngineMu sync.Mutex
+
+// inferEngine lazily builds and caches the engine backing
+// Model.DocTopics and Model.HeldOutPerplexity. Concurrent first calls
+// may each build an engine; one wins the cache and the others are
+// dropped (engines are stateless, so any copy is interchangeable).
+// Construction errors are not cached: a caller that fixes the model's
+// fields gets a working engine on the next call.
+func (m *Model) inferEngine() (*InferEngine, error) {
+	inferEngineMu.Lock()
+	eng := m.inferEng
+	inferEngineMu.Unlock()
+	if eng != nil {
+		return eng, nil
+	}
+	built, err := NewInferEngine(m, InferOptions{})
+	if err != nil {
+		return nil, err
+	}
+	inferEngineMu.Lock()
+	if m.inferEng == nil {
+		m.inferEng = built
+	}
+	eng = m.inferEng
+	inferEngineMu.Unlock()
+	return eng, nil
+}

@@ -93,15 +93,27 @@ func FromText(docs []string, opts TokenizeOptions) *Corpus {
 
 func tokenize(text string, opts TokenizeOptions) []string {
 	var words []string
+	for _, w := range Normalize(text) {
+		if len(w) >= opts.MinWordLen && !opts.Stopwords[w] {
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+// Normalize splits text into lowercase alphanumeric runs — the
+// character-level normalization every tokenizer in this repository
+// (training-side FromText, query-side warplda-serve) must share so
+// query words map onto training vocabulary ids. No length, stopword or
+// frequency filtering is applied here.
+func Normalize(text string) []string {
+	var words []string
 	var b strings.Builder
 	flush := func() {
-		if b.Len() >= opts.MinWordLen {
-			w := b.String()
-			if !opts.Stopwords[w] {
-				words = append(words, w)
-			}
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
 		}
-		b.Reset()
 	}
 	for _, r := range text {
 		switch {

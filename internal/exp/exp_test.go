@@ -8,6 +8,16 @@ import (
 
 func quick() Options { return Options{Quick: true, Seed: 7} }
 
+// skipFullRegen gates the multi-second figure regenerations (full
+// multi-sampler training runs even in quick mode) behind -short. CI's
+// race lane runs -short; a separate full lane keeps the coverage.
+func skipFullRegen(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping figure regeneration in -short mode")
+	}
+}
+
 // run executes an experiment in quick mode and returns its report.
 func run(t *testing.T, id string) *Report {
 	t.Helper()
@@ -127,6 +137,7 @@ func TestFig4Shape(t *testing.T) {
 // Fig 5 shape: all three samplers improve log-likelihood, and WarpLDA's
 // throughput exceeds LightLDA's.
 func TestFig5Shape(t *testing.T) {
+	skipFullRegen(t)
 	r := run(t, "fig5")
 	type tr struct {
 		firstLL, lastLL float64
@@ -185,6 +196,7 @@ func TestFig5Shape(t *testing.T) {
 // the weakest variant's final likelihood; every variant must reach it,
 // and the worst/best iteration ratio must stay small.
 func TestFig7Shape(t *testing.T) {
+	skipFullRegen(t)
 	r := run(t, "fig7")
 	traces := map[string][][2]float64{} // (iter, ll) per sampler
 	for _, line := range r.Lines {
@@ -242,6 +254,7 @@ func TestFig7Shape(t *testing.T) {
 // Fig 8 shape: every M converges; larger M reaches a no-worse likelihood
 // at the last iteration.
 func TestFig8Shape(t *testing.T) {
+	skipFullRegen(t)
 	r := run(t, "fig8")
 	last := map[string]float64{}
 	for _, line := range r.Lines {
@@ -269,6 +282,7 @@ func absF(x float64) float64 {
 }
 
 func TestFig6Runs(t *testing.T) {
+	skipFullRegen(t)
 	r := run(t, "fig6")
 	if !strings.Contains(r.String(), "WarpLDA") || !strings.Contains(r.String(), "LightLDA") {
 		t.Fatal("fig6 missing samplers")

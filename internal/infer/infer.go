@@ -1,0 +1,391 @@
+// Package infer is the query-side counterpart of internal/core: a
+// fold-in engine that estimates the topic mixture θ̂ of unseen documents
+// against a frozen, trained model.
+//
+// Training freezes Φ̂_wk = (C_wk+β)/(C_k+β̄); answering a query for
+// document d means sampling from
+//
+//	p(z_n = k | rest) ∝ (c_dk + α) Φ̂_{w_n k}
+//
+// The naive collapsed-Gibbs fold-in evaluates all K topics per token.
+// The engine instead runs the same cycle-proposal Metropolis–Hastings
+// chain the training samplers use (LightLDA / WarpLDA, Section 4.3 of
+// the paper), which is O(1) per token:
+//
+//   - word proposal  q_word(k) ∝ Φ̂_wk — because Φ̂ is frozen, this is
+//     drawn from per-word sparse alias tables built ONCE per engine and
+//     amortized across every request. And because the proposal equals
+//     the word-dependent factor of the target exactly, its acceptance
+//     ratio collapses to (c_dt+α)/(c_ds+α): no Φ̂ lookups at all.
+//   - doc proposal   q_doc(k) ∝ c_dk + α — drawn by random positioning
+//     over the document's current assignments (no table build), with
+//     the standard LightLDA acceptance correction.
+//
+// Engines are safe for concurrent use: all shared state is read-only
+// after construction, and InferBatch shards a batch of documents across
+// a worker pool with per-worker RNG and scratch state, mirroring
+// core.Warp.runPhase.
+package infer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"warplda/internal/alias"
+	"warplda/internal/rng"
+)
+
+// Params are the frozen point estimates of a trained LDA model. The
+// slices are retained (not copied) and must not be mutated while the
+// engine is in use.
+type Params struct {
+	V, K  int
+	Alpha float64 // symmetric document-topic prior
+	Beta  float64 // symmetric topic-word prior
+	Cw    []int32 // V×K word-topic counts, row-major by word
+	Ck    []int64 // K global topic counts
+}
+
+// Options tune the engine. The zero value picks sensible defaults.
+type Options struct {
+	// MHSteps is the number of (doc, word) proposal pairs per token per
+	// sweep. 0 means 2. Larger values track the exact Gibbs conditional
+	// more closely at proportional cost.
+	MHSteps int
+	// Workers is the worker-pool size used by InferBatch. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// DefaultSweeps is the fold-in sweep count used when a caller passes
+// sweeps < 1, matching Model.DocTopics' historical default.
+const DefaultSweeps = 5
+
+// wordTab is word w's half of the proposal mixture: a sparse alias
+// table over the topics with C_wk > 0, weighted C_wk/(C_k+β̄), plus the
+// count-part mass za. The smoothing part β/(C_k+β̄) is shared by all
+// words (Engine.smooth).
+type wordTab struct {
+	tab alias.SparseTable
+	za  float64
+}
+
+// Engine answers fold-in queries against one frozen model. Construction
+// is O(V·K); queries are O(MHSteps) per token. Safe for concurrent use.
+type Engine struct {
+	p        Params
+	alphaBar float64
+	ckBar    []float64 // C_k + β̄
+	words    []wordTab
+	smooth   alias.Table
+	zbSmooth float64
+	mh       int
+	workers  int
+}
+
+// NewEngine validates p and precomputes the per-word proposal tables.
+func NewEngine(p Params, opts Options) (*Engine, error) {
+	if p.V <= 0 || p.K <= 0 {
+		return nil, fmt.Errorf("infer: dims V=%d K=%d, want > 0", p.V, p.K)
+	}
+	if p.Alpha <= 0 || p.Beta <= 0 {
+		return nil, fmt.Errorf("infer: non-positive priors α=%g β=%g", p.Alpha, p.Beta)
+	}
+	if len(p.Cw) != p.V*p.K {
+		return nil, fmt.Errorf("infer: len(Cw) = %d, want V·K = %d", len(p.Cw), p.V*p.K)
+	}
+	if len(p.Ck) != p.K {
+		return nil, fmt.Errorf("infer: len(Ck) = %d, want K = %d", len(p.Ck), p.K)
+	}
+	e := &Engine{
+		p:        p,
+		alphaBar: p.Alpha * float64(p.K),
+		ckBar:    make([]float64, p.K),
+		words:    make([]wordTab, p.V),
+		mh:       opts.MHSteps,
+		workers:  opts.Workers,
+	}
+	if e.mh < 1 {
+		e.mh = 2
+	}
+	if e.workers < 1 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+
+	betaBar := p.Beta * float64(p.V)
+	smoothW := make([]float64, p.K)
+	for k := 0; k < p.K; k++ {
+		if p.Ck[k] < 0 {
+			return nil, fmt.Errorf("infer: negative topic count Ck[%d] = %d", k, p.Ck[k])
+		}
+		e.ckBar[k] = float64(p.Ck[k]) + betaBar
+		smoothW[k] = p.Beta / e.ckBar[k]
+		e.zbSmooth += smoothW[k]
+	}
+	e.smooth.Build(smoothW)
+
+	var topics []int32
+	var weights []float64
+	for w := 0; w < p.V; w++ {
+		row := p.Cw[w*p.K : (w+1)*p.K]
+		topics, weights = topics[:0], weights[:0]
+		var za float64
+		for k, c := range row {
+			if c > 0 {
+				q := float64(c) / e.ckBar[k]
+				topics = append(topics, int32(k))
+				weights = append(weights, q)
+				za += q
+			}
+		}
+		if len(topics) > 0 {
+			e.words[w].tab.Build(topics, weights)
+		}
+		e.words[w].za = za
+	}
+	return e, nil
+}
+
+// K returns the engine's topic count.
+func (e *Engine) K() int { return e.p.K }
+
+// V returns the engine's vocabulary size.
+func (e *Engine) V() int { return e.p.V }
+
+// drawWord samples from q_word(k) ∝ Φ̂_wk in O(1).
+func (e *Engine) drawWord(w int32, r *rng.RNG) int32 {
+	wt := &e.words[w]
+	if wt.za > 0 && r.Float64()*(wt.za+e.zbSmooth) < wt.za {
+		return wt.tab.Draw(r)
+	}
+	return int32(e.smooth.Draw(r))
+}
+
+// phi evaluates Φ̂_wk.
+func (e *Engine) phi(w, k int32) float64 {
+	return (float64(e.p.Cw[int(w)*e.p.K+int(k)]) + e.p.Beta) / e.ckBar[k]
+}
+
+func (e *Engine) validateDoc(doc []int32) error {
+	for n, w := range doc {
+		if w < 0 || int(w) >= e.p.V {
+			return fmt.Errorf("infer: token %d has word id %d outside [0,%d)", n, w, e.p.V)
+		}
+	}
+	return nil
+}
+
+// scratch is the per-worker (or per-call) reusable state.
+type scratch struct {
+	z  []int32
+	cd []int32
+}
+
+func newScratch(k int) *scratch { return &scratch{cd: make([]int32, k)} }
+
+// inferInto runs the fold-in chain for one document and writes θ̂ into
+// theta (length K). doc must be pre-validated; r and sc must not be
+// shared across concurrent calls.
+func (e *Engine) inferInto(doc []int32, sweeps int, r *rng.RNG, sc *scratch, theta []float64) {
+	k := e.p.K
+	ld := len(doc)
+	if ld == 0 {
+		for t := range theta {
+			theta[t] = 1 / float64(k)
+		}
+		return
+	}
+	if sweeps < 1 {
+		sweeps = DefaultSweeps
+	}
+	alpha := e.p.Alpha
+	if cap(sc.z) < ld {
+		sc.z = make([]int32, ld)
+	}
+	z := sc.z[:ld]
+	cd := sc.cd
+	clear(cd)
+	for n := range doc {
+		z[n] = int32(r.Intn(k))
+		cd[z[n]]++
+	}
+	pDocCount := float64(ld) / (float64(ld) + e.alphaBar)
+	for s := 0; s < sweeps; s++ {
+		for n, w := range doc {
+			old := z[n]
+			cd[old]-- // counts exclude the token being resampled
+			cur := old
+			for step := 0; step < e.mh; step++ {
+				// --- Doc proposal: random positioning over z, which
+				// still holds the removed token's old topic, so
+				// q_doc(k) = c_dk + α + [k==old] (token included).
+				var t int32
+				if r.Float64() < pDocCount {
+					t = z[r.Intn(ld)]
+				} else {
+					t = int32(r.Intn(k))
+				}
+				if t != cur {
+					qdT := float64(cd[t]) + alpha
+					qdCur := float64(cd[cur]) + alpha
+					if t == old {
+						qdT++
+					}
+					if cur == old {
+						qdCur++
+					}
+					pi := (float64(cd[t]) + alpha) * e.phi(w, t) * qdCur /
+						((float64(cd[cur]) + alpha) * e.phi(w, cur) * qdT)
+					if pi >= 1 || r.Float64() < pi {
+						cur = t
+					}
+				}
+				// --- Word proposal: q_word ∝ Φ̂_wk exactly, so the Φ̂
+				// factors cancel out of the acceptance ratio.
+				t = e.drawWord(w, r)
+				if t != cur {
+					pi := (float64(cd[t]) + alpha) / (float64(cd[cur]) + alpha)
+					if pi >= 1 || r.Float64() < pi {
+						cur = t
+					}
+				}
+			}
+			z[n] = cur
+			cd[cur]++
+		}
+	}
+	for t := 0; t < k; t++ {
+		theta[t] = (float64(cd[t]) + alpha) / (float64(ld) + e.alphaBar)
+	}
+}
+
+// Infer estimates the topic mixture of one document with the given
+// number of sweeps (sweeps < 1 means DefaultSweeps). The result is
+// deterministic in (doc, sweeps, seed).
+func (e *Engine) Infer(doc []int32, sweeps int, seed uint64) ([]float64, error) {
+	if err := e.validateDoc(doc); err != nil {
+		return nil, err
+	}
+	theta := make([]float64, e.p.K)
+	e.inferInto(doc, sweeps, rng.New(seed), newScratch(e.p.K), theta)
+	return theta, nil
+}
+
+// ReferenceGibbs is the naive fold-in this engine replaces: collapsed
+// Gibbs with an O(K) scan per token, the pre-engine Model.DocTopics.
+// It is kept as the single authoritative baseline for correctness
+// tests (the engine must agree with it within MCMC tolerance) and for
+// throughput benchmarks; it performs no input validation.
+func ReferenceGibbs(p Params, doc []int32, sweeps int, seed uint64) []float64 {
+	k := p.K
+	betaBar := p.Beta * float64(p.V)
+	theta := make([]float64, k)
+	if len(doc) == 0 {
+		for i := range theta {
+			theta[i] = 1 / float64(k)
+		}
+		return theta
+	}
+	if sweeps < 1 {
+		sweeps = DefaultSweeps
+	}
+	r := rng.New(seed)
+	z := make([]int32, len(doc))
+	cd := make([]int32, k)
+	for n := range doc {
+		z[n] = int32(r.Intn(k))
+		cd[z[n]]++
+	}
+	probs := make([]float64, k)
+	for s := 0; s < sweeps; s++ {
+		for n, w := range doc {
+			cd[z[n]]--
+			var sum float64
+			for t := 0; t < k; t++ {
+				phi := (float64(p.Cw[int(w)*k+t]) + p.Beta) / (float64(p.Ck[t]) + betaBar)
+				sum += (float64(cd[t]) + p.Alpha) * phi
+				probs[t] = sum
+			}
+			u := r.Float64() * sum
+			nt := int32(k - 1)
+			for t := 0; t < k; t++ {
+				if u < probs[t] {
+					nt = int32(t)
+					break
+				}
+			}
+			z[n] = nt
+			cd[nt]++
+		}
+	}
+	alphaBar := p.Alpha * float64(k)
+	for t := 0; t < k; t++ {
+		theta[t] = (float64(cd[t]) + p.Alpha) / (float64(len(doc)) + alphaBar)
+	}
+	return theta
+}
+
+// docSeed derives the per-document RNG seed for batched inference from
+// the batch seed and the document's content (FNV-1a over the token
+// ids). Seeding by content rather than by batch position makes each
+// document's result independent of batch order, batch composition, and
+// worker count — and gives identical documents identical results.
+func docSeed(seed uint64, doc []int32) uint64 {
+	h := uint64(14695981039346656037) ^ (seed * 0x9e3779b97f4a7c15)
+	for _, w := range doc {
+		h ^= uint64(uint32(w))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// InferBatch estimates the topic mixtures of a batch of documents
+// concurrently: documents are sharded across the engine's worker pool,
+// each worker holding its own RNG and scratch state. Result i always
+// corresponds to docs[i], and every document's result is deterministic
+// in (doc, sweeps, seed) alone — independent of batch order and worker
+// count. An invalid document fails the whole batch before any work
+// runs.
+func (e *Engine) InferBatch(docs [][]int32, sweeps int, seed uint64) ([][]float64, error) {
+	for i, doc := range docs {
+		if err := e.validateDoc(doc); err != nil {
+			return nil, fmt.Errorf("doc %d: %w", i, err)
+		}
+	}
+	out := make([][]float64, len(docs))
+	workers := e.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		sc := newScratch(e.p.K)
+		for i, doc := range docs {
+			theta := make([]float64, e.p.K)
+			e.inferInto(doc, sweeps, rng.New(docSeed(seed, doc)), sc, theta)
+			out[i] = theta
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch(e.p.K)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				theta := make([]float64, e.p.K)
+				e.inferInto(docs[i], sweeps, rng.New(docSeed(seed, docs[i])), sc, theta)
+				out[i] = theta
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package infer_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"warplda/internal/core"
+	"warplda/internal/corpus"
+	"warplda/internal/infer"
+	"warplda/internal/sampler"
+)
+
+var trainCache struct {
+	once sync.Once
+	p    infer.Params
+	c    *corpus.Corpus
+	err  error
+}
+
+// trainedParams trains WarpLDA on a synthetic corpus (once per test
+// binary) and extracts the frozen count matrices the way
+// warplda.Snapshot does. All tests read the counts; none mutate them.
+func trainedParams(t testing.TB, alpha float64) (infer.Params, *corpus.Corpus) {
+	t.Helper()
+	trainCache.once.Do(func() {
+		c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+			D: 400, V: 500, K: 8, MeanLen: 100, Alpha: 0.1, Beta: 0.01, Seed: 3,
+		})
+		if err != nil {
+			trainCache.err = err
+			return
+		}
+		cfg := sampler.PaperDefaults(8)
+		cfg.M = 2
+		w, err := core.New(c, cfg)
+		if err != nil {
+			trainCache.err = err
+			return
+		}
+		for i := 0; i < 60; i++ {
+			w.Iterate()
+		}
+		p := infer.Params{
+			V: c.V, K: cfg.K, Beta: cfg.Beta,
+			Cw: make([]int32, c.V*cfg.K),
+			Ck: make([]int64, cfg.K),
+		}
+		z := w.Assignments()
+		for d, doc := range c.Docs {
+			for n, word := range doc {
+				p.Cw[int(word)*cfg.K+int(z[d][n])]++
+				p.Ck[z[d][n]]++
+			}
+		}
+		trainCache.p, trainCache.c = p, c
+	})
+	if trainCache.err != nil {
+		t.Fatal(trainCache.err)
+	}
+	p := trainCache.p
+	p.Alpha = alpha
+	return p, trainCache.c
+}
+
+func l1(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// The MH engine and the naive Gibbs reference are both MCMC estimators
+// of the same posterior; averaged over a few chains their θ̂ estimates
+// must agree closely, and their MAP topics must almost always coincide.
+func TestInferMatchesGibbsReference(t *testing.T) {
+	p, c := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{MHSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nDocs  = 25
+		chains = 3
+		sweeps = 40
+	)
+	var totalL1 float64
+	argmaxAgree := 0
+	for d := 0; d < nDocs; d++ {
+		doc := c.Docs[d]
+		ref := make([]float64, p.K)
+		mh := make([]float64, p.K)
+		for ch := 0; ch < chains; ch++ {
+			seed := uint64(1000*d + ch)
+			for i, v := range infer.ReferenceGibbs(p, doc, sweeps, seed) {
+				ref[i] += v / chains
+			}
+			got, err := eng.Infer(doc, sweeps, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				mh[i] += v / chains
+			}
+		}
+		totalL1 += l1(ref, mh)
+		if argmax(ref) == argmax(mh) {
+			argmaxAgree++
+		}
+	}
+	if mean := totalL1 / nDocs; mean > 0.15 {
+		t.Errorf("mean L1 distance to Gibbs reference %.4f exceeds 0.15", mean)
+	}
+	if argmaxAgree < nDocs*4/5 {
+		t.Errorf("MAP topic agrees on only %d/%d docs", argmaxAgree, nDocs)
+	}
+}
+
+func argmax(x []float64) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestInferDeterministicInSeed(t *testing.T) {
+	p, c := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := c.Docs[0]
+	a, err := eng.Infer(doc, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Infer(doc, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different θ̂")
+	}
+	var sum float64
+	for _, v := range a {
+		if v < 0 {
+			t.Fatalf("negative θ̂ component %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("θ̂ sums to %g", sum)
+	}
+	c2, err := eng.Infer(doc, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c2) {
+		t.Fatal("different seeds produced identical θ̂ (suspicious)")
+	}
+}
+
+// Batched results must equal one another across worker counts and must
+// follow their documents under batch permutation.
+func TestInferBatchOrderAndWorkerIndependence(t *testing.T) {
+	p, c := trainedParams(t, 0.1)
+	docs := c.Docs[:32]
+
+	eng1, err := infer.NewEngine(p, infer.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng4, err := infer.NewEngine(p, infer.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := eng1.InferBatch(docs, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := eng4.InferBatch(docs, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("worker count changed batch results")
+	}
+
+	// Reverse the batch: result i must follow docs[i].
+	rev := make([][]int32, len(docs))
+	for i := range docs {
+		rev[i] = docs[len(docs)-1-i]
+	}
+	revOut, err := eng4.InferBatch(rev, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range docs {
+		if !reflect.DeepEqual(serial[i], revOut[len(docs)-1-i]) {
+			t.Fatalf("doc %d result changed under batch permutation", i)
+		}
+	}
+}
+
+func TestInferEmptyDocUniform(t *testing.T) {
+	p, _ := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := eng.Infer(nil, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range theta {
+		if math.Abs(v-1/float64(p.K)) > 1e-12 {
+			t.Fatalf("empty doc θ̂ = %v, want uniform", theta)
+		}
+	}
+	out, err := eng.InferBatch(nil, 5, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestInferRejectsInvalidInput(t *testing.T) {
+	p, _ := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Infer([]int32{0, int32(p.V)}, 5, 1); err == nil {
+		t.Error("out-of-range word id accepted")
+	}
+	if _, err := eng.Infer([]int32{-1}, 5, 1); err == nil {
+		t.Error("negative word id accepted")
+	}
+	if _, err := eng.InferBatch([][]int32{{0}, {int32(p.V)}}, 5, 1); err == nil {
+		t.Error("batch with invalid doc accepted")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	good := infer.Params{V: 2, K: 2, Alpha: 0.1, Beta: 0.01,
+		Cw: make([]int32, 4), Ck: make([]int64, 2)}
+	if _, err := infer.NewEngine(good, infer.Options{}); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := map[string]func(p *infer.Params){
+		"zero K":      func(p *infer.Params) { p.K = 0 },
+		"zero V":      func(p *infer.Params) { p.V = 0 },
+		"bad alpha":   func(p *infer.Params) { p.Alpha = 0 },
+		"bad beta":    func(p *infer.Params) { p.Beta = -1 },
+		"short Cw":    func(p *infer.Params) { p.Cw = p.Cw[:3] },
+		"short Ck":    func(p *infer.Params) { p.Ck = p.Ck[:1] },
+		"negative Ck": func(p *infer.Params) { p.Ck = []int64{-1, 0} },
+	}
+	for name, corrupt := range cases {
+		p := good
+		corrupt(&p)
+		if _, err := infer.NewEngine(p, infer.Options{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

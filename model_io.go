@@ -129,9 +129,9 @@ func ReadModel(r io.Reader) (*Model, error) {
 }
 
 // HeldOutPerplexity evaluates the model on unseen documents: each test
-// document is folded in with Gibbs sweeps (see DocTopics) and scored by
-// exp(−(1/T) Σ log p(w | θ̂, Φ̂)) — the standard held-out metric. Lower
-// is better.
+// document is folded in with the O(1)-per-token MH engine (see
+// DocTopics) and scored by exp(−(1/T) Σ log p(w | θ̂, Φ̂)) — the
+// standard held-out metric. Lower is better.
 func (m *Model) HeldOutPerplexity(docs [][]int32, sweeps int, seed uint64) float64 {
 	var logp float64
 	tokens := 0

@@ -2,7 +2,6 @@ package warplda
 
 import "warplda/internal/rng"
 
-// newFoldInRNG returns the random source used by Model.DocTopics.
-// Isolated here so the public file stays free of internal imports beyond
-// the facade.
+// newFoldInRNG returns the random source used by Split. Isolated here
+// so the public file stays free of internal imports beyond the facade.
 func newFoldInRNG(seed uint64) *rng.RNG { return rng.New(seed) }

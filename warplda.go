@@ -142,6 +142,11 @@ type Model struct {
 	Cw     []int32  // V×K word-topic counts
 	Ck     []int64  // K global topic counts
 	LogLik float64
+
+	// Lazily built fold-in engine backing DocTopics; see infer_facade.go.
+	// A plain pointer (guarded by a package-level mutex) rather than a
+	// sync.Once so Model stays copyable.
+	inferEng *InferEngine
 }
 
 // Train runs WarpLDA for iters iterations over c with the paper's
@@ -231,51 +236,31 @@ func (m *Model) Coherence(c *Corpus, k, n int) float64 {
 }
 
 // DocTopics infers the topic mixture θ̂ of an (unseen or training)
-// document by folding in: a few Gibbs sweeps over the document's tokens
-// against the frozen model.
+// document by folding in: a few MH sweeps over the document's tokens
+// against the frozen model, O(1) per token. It is a thin wrapper around
+// the InferEngine the model builds lazily on first use; callers
+// answering many queries (or wanting batching) should build the engine
+// themselves with NewInferEngine. It panics on word ids outside
+// [0, m.V) — as the pre-engine Gibbs implementation did — and on
+// models whose exported fields are inconsistent (non-positive priors,
+// count slices not sized V×K / K).
 func (m *Model) DocTopics(doc []int32, sweeps int, seed uint64) []float64 {
-	k := m.Cfg.K
-	theta := make([]float64, k)
 	if len(doc) == 0 {
+		// Uniform, without paying the engine build — the pre-engine
+		// behavior for empty documents.
+		theta := make([]float64, m.Cfg.K)
 		for i := range theta {
-			theta[i] = 1 / float64(k)
+			theta[i] = 1 / float64(m.Cfg.K)
 		}
 		return theta
 	}
-	if sweeps < 1 {
-		sweeps = 5
-	}
-	r := newFoldInRNG(seed)
-	z := make([]int32, len(doc))
-	cd := make([]int32, k)
-	for n := range doc {
-		z[n] = int32(r.Intn(k))
-		cd[z[n]]++
-	}
-	probs := make([]float64, k)
-	for s := 0; s < sweeps; s++ {
-		for n, w := range doc {
-			cd[z[n]]--
-			var sum float64
-			for t := 0; t < k; t++ {
-				sum += (float64(cd[t]) + m.Cfg.Alpha) * m.Phi(int(w), t)
-				probs[t] = sum
-			}
-			u := r.Float64() * sum
-			nt := int32(k - 1)
-			for t := 0; t < k; t++ {
-				if u < probs[t] {
-					nt = int32(t)
-					break
-				}
-			}
-			z[n] = nt
-			cd[nt]++
+	eng, err := m.inferEngine()
+	if err == nil {
+		var theta []float64
+		theta, err = eng.Infer(doc, sweeps, seed)
+		if err == nil {
+			return theta
 		}
 	}
-	alphaBar := m.Cfg.Alpha * float64(k)
-	for t := 0; t < k; t++ {
-		theta[t] = (float64(cd[t]) + m.Cfg.Alpha) / (float64(len(doc)) + alphaBar)
-	}
-	return theta
+	panic(fmt.Sprintf("warplda: DocTopics: %v", err))
 }
