@@ -9,12 +9,16 @@ import (
 	"sync/atomic"
 	"time"
 
-	"warplda"
 	"warplda/internal/corpus"
+	"warplda/internal/registry"
 )
 
-// ServeOptions configure the HTTP layer around one model.
+// ServeOptions configure the HTTP layer over a model registry.
 type ServeOptions struct {
+	// DefaultModel is the registry model the legacy POST /infer route
+	// serves. Empty disables that route (404); POST /models/{name}/infer
+	// always works.
+	DefaultModel string
 	// Sweeps is the default fold-in sweep count when a request does not
 	// set one. 0 means 20.
 	Sweeps int
@@ -27,8 +31,6 @@ type ServeOptions struct {
 	// Seed is the base RNG seed; per-document seeds are derived from it
 	// and the document content, so responses are deterministic.
 	Seed uint64
-	// Engine options (MH steps, worker-pool size).
-	Infer warplda.InferOptions
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -58,71 +60,158 @@ type inferRequest struct {
 	Sweeps int       `json:"sweeps,omitempty"`
 }
 
-// inferResponse is the POST /infer reply: one topic distribution (and
-// its argmax) per input document, in input order.
+// inferResponse is the infer reply: one topic distribution (and its
+// argmax) per input document, in input order, plus which model version
+// answered.
 type inferResponse struct {
-	Topics [][]float64 `json:"topics"`
-	Top    []int       `json:"top"`
-	TookMs float64     `json:"took_ms"`
+	Model   string      `json:"model"`
+	Version int         `json:"version"`
+	Topics  [][]float64 `json:"topics"`
+	Top     []int       `json:"top"`
+	TookMs  float64     `json:"took_ms"`
 }
 
 type healthResponse struct {
-	Status     string `json:"status"`
-	V          int    `json:"v"`
-	K          int    `json:"k"`
-	HasVocab   bool   `json:"has_vocab"`
-	DocsServed int64  `json:"docs_served"`
+	Status        string `json:"status"` // "ok" or "draining"
+	DefaultModel  string `json:"default_model,omitempty"`
+	ModelsReady   int    `json:"models_ready"`
+	BytesResident int64  `json:"bytes_resident"`
+	MaxBytes      int64  `json:"max_bytes"`
+	DocsServed    int64  `json:"docs_served"`
 }
 
-// server owns one model, its prebuilt inference engine, and the
-// vocabulary index for text queries.
-type server struct {
-	model  *warplda.Model
-	engine *warplda.InferEngine
-	vocab  map[string]int32 // nil when the model has no vocabulary
-	opts   ServeOptions
-	served atomic.Int64
+// modelsResponse is the GET /models reply.
+type modelsResponse struct {
+	registry.Stats
+	Models []registry.ModelInfo `json:"models"`
 }
 
-// NewServer builds the /infer + /healthz handler for m. The engine's
-// per-word proposal tables are built here, once, so request handling
-// never pays the O(V·K) setup cost.
-func NewServer(m *warplda.Model, opts ServeOptions) (http.Handler, error) {
-	opts = opts.withDefaults()
-	eng, err := warplda.NewInferEngine(m, opts.Infer)
-	if err != nil {
-		return nil, err
+// Server routes multi-model inference and admin traffic onto a
+// registry. It implements http.Handler; Drain flips it into the
+// shutting-down state in which inference requests are refused with 503
+// while in-flight ones complete.
+type Server struct {
+	reg      *registry.Registry
+	opts     ServeOptions
+	mux      *http.ServeMux
+	served   atomic.Int64
+	draining atomic.Bool
+}
+
+// NewServer builds the HTTP handler over reg. Models load lazily
+// through the registry on first request; callers that want fail-fast
+// startup behavior acquire the default model before serving, as
+// cmd/warplda-serve's main does.
+func NewServer(reg *registry.Registry, opts ServeOptions) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
 	}
-	s := &server{model: m, engine: eng, opts: opts}
-	if m.Vocab != nil {
-		s.vocab = make(map[string]int32, len(m.Vocab))
-		for i, w := range m.Vocab {
-			s.vocab[w] = int32(i)
-		}
-	}
+	s := &Server{reg: reg, opts: opts.withDefaults()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/infer", s.handleInfer)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	return mux, nil
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.DefaultModel == "" {
+			httpError(w, http.StatusNotFound, "no default model configured; use /models/{name}/infer")
+			return
+		}
+		s.handleInfer(w, r, s.opts.DefaultModel)
+	})
+	mux.HandleFunc("POST /models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
+		s.handleInfer(w, r, r.PathValue("name"))
+	})
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /models/{name}", s.handleModelInfo)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Method-less fallbacks keep 405s on the JSON error contract
+	// (ServeMux's own 405 is plain text). The method-qualified patterns
+	// above are more specific and win for matching requests.
+	for pattern, allow := range map[string]string{
+		"/infer":               "POST",
+		"/models/{name}/infer": "POST",
+		"/models":              "GET",
+		"/models/{name}":       "GET",
+		"/healthz":             "GET",
+	} {
+		method := allow
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", method)
+			httpError(w, http.StatusMethodNotAllowed, "use %s", method)
+		})
+	}
+	s.mux = mux
+	return s, nil
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
-		return
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain refuses new inference work with 503 (admin and health stay up,
+// reporting "draining") so load balancers can rotate the instance out
+// while http.Server.Shutdown lets in-flight requests finish.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// acquire resolves a model name through the registry and maps lifecycle
+// errors onto HTTP admission-control semantics: 404 for names that
+// don't exist, 503 + Retry-After for transient refusals (mid-load,
+// over budget, draining).
+func (s *Server) acquire(w http.ResponseWriter, name string) (*registry.Snapshot, bool) {
+	snap, err := s.reg.Acquire(name)
+	if err == nil {
+		return snap, true
+	}
+	switch {
+	case errors.Is(err, registry.ErrNotFound) || errors.Is(err, registry.ErrBadName):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, registry.ErrLoading):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, registry.ErrOverCapacity):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, registry.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+	default:
+		// Unreadable/corrupt model file: the caller named a real model,
+		// the server side is broken.
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.reg.RegistryStats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:     "ok",
-		V:          s.model.V,
-		K:          s.model.Cfg.K,
-		HasVocab:   s.vocab != nil,
-		DocsServed: s.served.Load(),
+		Status:        status,
+		DefaultModel:  s.opts.DefaultModel,
+		ModelsReady:   st.Ready,
+		BytesResident: st.BytesResident,
+		MaxBytes:      st.MaxBytes,
+		DocsServed:    s.served.Load(),
 	})
 }
 
-func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, modelsResponse{
+		Stats:  s.reg.RegistryStats(),
+		Models: s.reg.List(),
+	})
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	mi, ok := s.reg.Info(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "model not found: %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, mi)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req inferRequest
@@ -139,7 +228,14 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	docs, status, err := s.resolveDocs(&req)
+	// Acquire after the body parse: bad requests stay 4xx even when the
+	// model would also need a load, and parse work never pins a
+	// snapshot.
+	snap, ok := s.acquire(w, name)
+	if !ok {
+		return
+	}
+	docs, status, err := s.resolveDocs(snap, &req)
 	if err != nil {
 		httpError(w, status, "%v", err)
 		return
@@ -153,7 +249,7 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	topics, err := s.engine.InferBatch(docs, sweeps, s.opts.Seed)
+	topics, err := snap.Engine.InferBatch(docs, sweeps, s.opts.Seed)
 	if err != nil {
 		// Word ids out of the model's range are a caller error.
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -170,15 +266,17 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, inferResponse{
-		Topics: topics,
-		Top:    top,
-		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+		Model:   name,
+		Version: snap.Version,
+		Topics:  topics,
+		Top:     top,
+		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 
 // resolveDocs turns the request into token-id documents, tokenizing
-// Texts against the model vocabulary when needed.
-func (s *server) resolveDocs(req *inferRequest) ([][]int32, int, error) {
+// Texts against the snapshot's vocabulary index when needed.
+func (s *Server) resolveDocs(snap *registry.Snapshot, req *inferRequest) ([][]int32, int, error) {
 	switch {
 	case req.Docs != nil && req.Texts != nil:
 		return nil, http.StatusBadRequest, fmt.Errorf("set either docs or texts, not both")
@@ -189,7 +287,7 @@ func (s *server) resolveDocs(req *inferRequest) ([][]int32, int, error) {
 		}
 		return req.Docs, 0, nil
 	case req.Texts != nil:
-		if s.vocab == nil {
+		if snap.Vocab == nil {
 			return nil, http.StatusBadRequest,
 				fmt.Errorf("model has no vocabulary; send token ids via docs")
 		}
@@ -209,12 +307,12 @@ func (s *server) resolveDocs(req *inferRequest) ([][]int32, int, error) {
 			// id). Out-of-vocabulary words carry no information under
 			// the trained Φ̂ and are dropped.
 			for _, field := range strings.Fields(strings.ToLower(text)) {
-				if id, ok := s.vocab[field]; ok {
+				if id, ok := snap.Vocab[field]; ok {
 					docs[i] = append(docs[i], id)
 					continue
 				}
 				for _, tok := range corpus.Normalize(field) {
-					if id, ok := s.vocab[tok]; ok {
+					if id, ok := snap.Vocab[tok]; ok {
 						docs[i] = append(docs[i], id)
 					}
 				}

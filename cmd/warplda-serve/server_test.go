@@ -1,20 +1,23 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
 	"warplda"
 	"warplda/internal/corpus"
+	"warplda/internal/registry"
 )
 
-func testHandler(t *testing.T) (http.Handler, *warplda.Model) {
+// trainTestModel trains the two-domain toy model every handler test
+// serves.
+func trainTestModel(t testing.TB) *warplda.Model {
 	t.Helper()
 	docs := make([]string, 0, 40)
 	for i := 0; i < 20; i++ {
@@ -28,16 +31,50 @@ func testHandler(t *testing.T) (http.Handler, *warplda.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := NewServer(m, ServeOptions{Sweeps: 30, MaxBatch: 8})
+	return m
+}
+
+// saveModel writes m to path atomically, the way warplda-train -save
+// updates a live model directory.
+func saveModel(t testing.TB, path string, m *warplda.Model) {
+	t.Helper()
+	if _, err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestServer saves the given models into a fresh registry directory
+// and builds a Server over them, with the first name as default model.
+func newTestServer(t testing.TB, opts ServeOptions, ropts registry.Options, models map[string]*warplda.Model, def string) (*Server, *registry.Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	for name, m := range models {
+		saveModel(t, filepath.Join(dir, name+".bin"), m)
+	}
+	reg, err := registry.Open(dir, ropts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return h, m
+	t.Cleanup(reg.Close)
+	opts.DefaultModel = def
+	s, err := NewServer(reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
 }
 
-func postInfer(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, inferResponse) {
+func testHandler(t testing.TB) (*Server, *warplda.Model) {
 	t.Helper()
-	req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(body))
+	m := trainTestModel(t)
+	s, _ := newTestServer(t, ServeOptions{Sweeps: 30, MaxBatch: 8}, registry.Options{},
+		map[string]*warplda.Model{"news": m}, "news")
+	return s, m
+}
+
+func postJSON(t testing.TB, h http.Handler, path, body string) (*httptest.ResponseRecorder, inferResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	var resp inferResponse
@@ -49,6 +86,23 @@ func postInfer(t *testing.T, h http.Handler, body string) (*httptest.ResponseRec
 	return rec, resp
 }
 
+func postInfer(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, inferResponse) {
+	return postJSON(t, h, "/infer", body)
+}
+
+func getJSON(t testing.TB, h http.Handler, path string, v any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if v != nil && rec.Code == http.StatusOK {
+		if err := json.NewDecoder(rec.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return rec
+}
+
 func TestInferWithTokenIDs(t *testing.T) {
 	h, m := testHandler(t)
 	rec, resp := postInfer(t, h, `{"docs": [[0,1,2,0,1], [], [3,4,5,3]]}`)
@@ -57,6 +111,9 @@ func TestInferWithTokenIDs(t *testing.T) {
 	}
 	if len(resp.Topics) != 3 || len(resp.Top) != 3 {
 		t.Fatalf("got %d topic rows, %d top entries", len(resp.Topics), len(resp.Top))
+	}
+	if resp.Model != "news" || resp.Version != 1 {
+		t.Fatalf("answered by %s v%d, want news v1", resp.Model, resp.Version)
 	}
 	for i, theta := range resp.Topics {
 		if len(theta) != m.Cfg.K {
@@ -73,6 +130,18 @@ func TestInferWithTokenIDs(t *testing.T) {
 	// Empty doc: uniform over K=2.
 	if math.Abs(resp.Topics[1][0]-0.5) > 1e-12 {
 		t.Fatalf("empty doc θ̂ = %v", resp.Topics[1])
+	}
+}
+
+func TestInferByModelNameMatchesDefaultRoute(t *testing.T) {
+	h, _ := testHandler(t)
+	_, viaDefault := postInfer(t, h, `{"docs": [[0,1,2,3]]}`)
+	rec, viaName := postJSON(t, h, "/models/news/infer", `{"docs": [[0,1,2,3]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !reflect.DeepEqual(viaDefault.Topics, viaName.Topics) {
+		t.Fatal("/infer and /models/news/infer disagree on the same model")
 	}
 }
 
@@ -100,76 +169,154 @@ func TestInferDeterministicResponses(t *testing.T) {
 func TestInferRejectsBadRequests(t *testing.T) {
 	h, _ := testHandler(t)
 	cases := map[string]struct {
+		path string
 		body string
 		code int
 	}{
-		"invalid json":      {`{"docs": [[0,`, http.StatusBadRequest},
-		"unknown field":     {`{"documents": [[0]]}`, http.StatusBadRequest},
-		"both docs+texts":   {`{"docs": [[0]], "texts": ["x"]}`, http.StatusBadRequest},
-		"neither":           {`{}`, http.StatusBadRequest},
-		"word out of range": {`{"docs": [[99999]]}`, http.StatusBadRequest},
-		"over max batch":    {`{"docs": [[0],[0],[0],[0],[0],[0],[0],[0],[0]]}`, http.StatusRequestEntityTooLarge},
+		"invalid json":      {"/infer", `{"docs": [[0,`, http.StatusBadRequest},
+		"unknown field":     {"/infer", `{"documents": [[0]]}`, http.StatusBadRequest},
+		"both docs+texts":   {"/infer", `{"docs": [[0]], "texts": ["x"]}`, http.StatusBadRequest},
+		"neither":           {"/infer", `{}`, http.StatusBadRequest},
+		"word out of range": {"/infer", `{"docs": [[99999]]}`, http.StatusBadRequest},
+		"over max batch":    {"/infer", `{"docs": [[0],[0],[0],[0],[0],[0],[0],[0],[0]]}`, http.StatusRequestEntityTooLarge},
+		"unknown model":     {"/models/nope/infer", `{"docs": [[0]]}`, http.StatusNotFound},
+		"traversal name":    {"/models/..%2fnews/infer", `{"docs": [[0]]}`, http.StatusNotFound},
 	}
 	for name, tc := range cases {
-		rec, _ := postInfer(t, h, tc.body)
+		rec, _ := postJSON(t, h, tc.path, tc.body)
 		if rec.Code != tc.code {
 			t.Errorf("%s: status %d, want %d (%s)", name, rec.Code, tc.code, rec.Body)
 		}
 	}
-	// Wrong method.
-	req := httptest.NewRequest(http.MethodGet, "/infer", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /infer: status %d", rec.Code)
+	// Wrong method: still on the JSON error contract, with Allow set.
+	for path, allow := range map[string]string{
+		"/infer":             "POST",
+		"/models/news/infer": "POST",
+		"/models":            "GET",
+		"/models/news":       "GET",
+		"/healthz":           "GET",
+	} {
+		method := http.MethodGet
+		if allow == "GET" {
+			method = http.MethodPost
+		}
+		req := httptest.NewRequest(method, path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d", method, path, rec.Code)
+			continue
+		}
+		if got := rec.Header().Get("Allow"); got != allow {
+			t.Errorf("%s %s: Allow = %q, want %q", method, path, got, allow)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Errorf("%s %s: 405 body not on the JSON error contract: %v %v", method, path, err, e)
+		}
 	}
 }
 
 func TestHealthz(t *testing.T) {
-	h, m := testHandler(t)
+	h, _ := testHandler(t)
 	// Serve one batch first so the counter moves.
 	postInfer(t, h, `{"docs": [[0,1],[2,3]]}`)
 
-	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
+	var hr healthResponse
+	rec := getJSON(t, h, "/healthz", &hr)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var hr healthResponse
-	if err := json.NewDecoder(rec.Body).Decode(&hr); err != nil {
-		t.Fatal(err)
-	}
-	if hr.Status != "ok" || hr.V != m.V || hr.K != m.Cfg.K || !hr.HasVocab {
+	if hr.Status != "ok" || hr.DefaultModel != "news" || hr.ModelsReady != 1 {
 		t.Fatalf("health = %+v", hr)
 	}
 	if hr.DocsServed != 2 {
 		t.Fatalf("docs_served = %d, want 2", hr.DocsServed)
 	}
+	if hr.BytesResident <= 0 {
+		t.Fatalf("bytes_resident = %d", hr.BytesResident)
+	}
 }
 
-// End-to-end through the serialization format: a model written the way
-// warplda-train -save writes it must serve identically after reload.
-func TestServeModelRoundTrip(t *testing.T) {
-	_, m := testHandler(t)
-	var buf bytes.Buffer
-	if _, err := m.WriteTo(&buf); err != nil {
-		t.Fatal(err)
+func TestModelsAdminEndpoints(t *testing.T) {
+	m := trainTestModel(t)
+	h, _ := newTestServer(t, ServeOptions{}, registry.Options{},
+		map[string]*warplda.Model{"news": m, "cold": m}, "news")
+	postInfer(t, h, `{"docs": [[0,1]]}`)
+
+	var mr modelsResponse
+	if rec := getJSON(t, h, "/models", &mr); rec.Code != http.StatusOK {
+		t.Fatalf("GET /models: %d", rec.Code)
 	}
-	reloaded, err := warplda.ReadModel(&buf)
-	if err != nil {
-		t.Fatal(err)
+	if len(mr.Models) != 2 {
+		t.Fatalf("models = %+v", mr.Models)
 	}
-	h, err := NewServer(reloaded, ServeOptions{})
-	if err != nil {
-		t.Fatal(err)
+	byName := map[string]registry.ModelInfo{}
+	for _, mi := range mr.Models {
+		byName[mi.Name] = mi
 	}
-	rec, resp := postInfer(t, h, `{"texts": ["gopher compiler runtime"]}`)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	if mi := byName["news"]; mi.State != "ready" || mi.K != 2 || mi.Bytes <= 0 || mi.Hits < 1 {
+		t.Fatalf("news = %+v", mi)
 	}
-	if len(resp.Topics) != 1 {
-		t.Fatalf("topics = %v", resp.Topics)
+	if mi := byName["cold"]; mi.State != "available" || mi.Bytes != 0 {
+		t.Fatalf("cold = %+v", mi)
+	}
+	if mr.BytesResident <= 0 || mr.Ready != 1 {
+		t.Fatalf("registry stats = %+v", mr.Stats)
+	}
+
+	var mi registry.ModelInfo
+	if rec := getJSON(t, h, "/models/news", &mi); rec.Code != http.StatusOK {
+		t.Fatalf("GET /models/news: %d", rec.Code)
+	}
+	if mi.State != "ready" || mi.LoadMs <= 0 || mi.LoadedAt == "" {
+		t.Fatalf("news info = %+v", mi)
+	}
+	if rec := getJSON(t, h, "/models/nope", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /models/nope: %d", rec.Code)
+	}
+}
+
+func TestDrainRefusesInferenceKeepsAdmin(t *testing.T) {
+	h, _ := testHandler(t)
+	h.Drain()
+	if rec, _ := postInfer(t, h, `{"docs": [[0]]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /infer: status %d, want 503", rec.Code)
+	}
+	if rec, _ := postJSON(t, h, "/models/news/infer", `{"docs": [[0]]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /models/news/infer: status %d, want 503", rec.Code)
+	}
+	var hr healthResponse
+	if rec := getJSON(t, h, "/healthz", &hr); rec.Code != http.StatusOK || hr.Status != "draining" {
+		t.Fatalf("draining health: %d %+v", rec.Code, hr)
+	}
+	if rec := getJSON(t, h, "/models", nil); rec.Code != http.StatusOK {
+		t.Fatalf("draining /models: %d", rec.Code)
+	}
+}
+
+func TestNoDefaultModel404sLegacyRoute(t *testing.T) {
+	m := trainTestModel(t)
+	h, _ := newTestServer(t, ServeOptions{}, registry.Options{},
+		map[string]*warplda.Model{"news": m}, "")
+	if rec, _ := postInfer(t, h, `{"docs": [[0]]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("legacy route without default: %d, want 404", rec.Code)
+	}
+	if rec, _ := postJSON(t, h, "/models/news/infer", `{"docs": [[0]]}`); rec.Code != http.StatusOK {
+		t.Fatalf("named route: %d, want 200", rec.Code)
+	}
+}
+
+func TestOverCapacityModelGets503(t *testing.T) {
+	m := trainTestModel(t)
+	h, _ := newTestServer(t, ServeOptions{}, registry.Options{MaxBytes: 64},
+		map[string]*warplda.Model{"news": m}, "news")
+	rec, _ := postInfer(t, h, `{"docs": [[0]]}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
 	}
 }
 
@@ -196,10 +343,8 @@ func TestTextsMatchExternalVocabEntities(t *testing.T) {
 		Cw:    []int32{50, 1, 1, 50, 5, 5}, // word 0 is decisively topic 0
 		Ck:    []int64{56, 56},
 	}
-	h, err := NewServer(m, ServeOptions{Sweeps: 30})
-	if err != nil {
-		t.Fatal(err)
-	}
+	h, _ := newTestServer(t, ServeOptions{Sweeps: 30}, registry.Options{},
+		map[string]*warplda.Model{"uci": m}, "uci")
 	rec, resp := postInfer(t, h,
 		`{"texts": ["Zzz_New_York zzz_new_york ZZZ_NEW_YORK zzz_new_york"]}`)
 	if rec.Code != http.StatusOK {
@@ -217,11 +362,9 @@ func TestTextsMatchExternalVocabEntities(t *testing.T) {
 }
 
 func TestOversizedBodyGets413(t *testing.T) {
-	_, m := testHandler(t)
-	h, err := NewServer(m, ServeOptions{MaxBodyBytes: 64})
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := trainTestModel(t)
+	h, _ := newTestServer(t, ServeOptions{MaxBodyBytes: 64}, registry.Options{},
+		map[string]*warplda.Model{"news": m}, "news")
 	rec, _ := postInfer(t, h, `{"docs": [[`+strings.Repeat("0,", 100)+`0]]}`)
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413 (%s)", rec.Code, rec.Body)

@@ -8,7 +8,12 @@
 //	warplda-train -corpus docword.nytimes.txt -vocab vocab.nytimes.txt \
 //	    -algo warplda -topics 1000 -m 2 -iters 300 -eval-every 10
 //
-// A model saved with -save is the snapshot cmd/warplda-serve loads.
+// A model saved with -save is the snapshot cmd/warplda-serve loads. It
+// is written in the versioned, CRC32-checksummed snapshot format
+// (WARPLDA v2) and lands via temp-file + atomic rename, so a serving
+// process hot-watching the path can never load a torn write: it either
+// sees the old complete file or the new complete file, and anything in
+// between fails the checksum and is refused.
 package main
 
 import (
@@ -84,18 +89,11 @@ func main() {
 
 	model := warplda.Snapshot(c, s, cfg)
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
+		n, err := model.WriteFile(*savePath)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := model.WriteTo(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("model saved to %s\n", *savePath)
+		fmt.Printf("model saved to %s (%d bytes, checksummed snapshot v2)\n", *savePath, n)
 	}
 	n := *maxTopics
 	if n > *topics {

@@ -1,13 +1,16 @@
 // Serving: the full production loop — train a model, save it in the
-// snapshot format, reload it (as warplda-serve does at startup), build
-// the batched inference engine once, and answer query batches.
+// checksummed snapshot format, reload it (as warplda-serve's registry
+// does on every load and hot reload), build the batched inference
+// engine once, and answer query batches.
 //
 //	go run ./examples/serving
 //
-// The same model file works over HTTP:
+// The same model file works over HTTP, alone or as one tenant of a
+// multi-model registry directory:
 //
 //	go run ./cmd/warplda-serve -model model.bin &
 //	curl -s localhost:8080/infer -d '{"docs": [[0, 5, 7, 5]]}'
+//	curl -s localhost:8080/models
 package main
 
 import (

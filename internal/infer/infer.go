@@ -154,6 +154,25 @@ func (e *Engine) K() int { return e.p.K }
 // V returns the engine's vocabulary size.
 func (e *Engine) V() int { return e.p.V }
 
+// MemoryBytes estimates the engine's own resident memory: the shared
+// smoothing table, C_k+β̄ row, and every per-word sparse alias table.
+// It excludes the Params count slices, which the engine retains but
+// does not own (Model.SizeBytes accounts for those). Multi-model
+// serving layers use the sum of both to enforce an LRU byte budget.
+func (e *Engine) MemoryBytes() int64 {
+	// Per alias bin: prob float64 + first/second int32 (Table), and the
+	// outcome id (SparseTable). The fixed per-table struct overhead is
+	// folded into a small constant per word.
+	const binBytes = 8 + 4 + 4
+	n := int64(len(e.ckBar))*8 + int64(e.smooth.K())*binBytes
+	for w := range e.words {
+		wt := &e.words[w]
+		n += 24 // wordTab struct: za + table headers, amortized
+		n += int64(wt.tab.K()) * (binBytes + 4)
+	}
+	return n
+}
+
 // drawWord samples from q_word(k) ∝ Φ̂_wk in O(1).
 func (e *Engine) drawWord(w int32, r *rng.RNG) int32 {
 	wt := &e.words[w]

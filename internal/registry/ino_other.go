@@ -1,0 +1,9 @@
+//go:build !unix
+
+package registry
+
+import "os"
+
+// fileIno has no portable meaning off unix; 0 disables the inode leg of
+// change detection, leaving size+mtime.
+func fileIno(fi os.FileInfo) uint64 { return 0 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package registry
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileIno returns the file's inode number. An atomic temp-file+rename
+// deploy always allocates a fresh inode, so comparing inodes detects a
+// swapped model even when the new file has the same size and a
+// colliding coarse mtime (1s granularity on some network filesystems).
+func fileIno(fi os.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}

@@ -1,0 +1,416 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"warplda"
+)
+
+// tinyModel trains a small model with the given topic count. Different
+// K gives different response dimensions AND different file sizes, so
+// swaps are observable both semantically and by the size+mtime poll.
+func tinyModel(t testing.TB, k int, seed uint64) *warplda.Model {
+	t.Helper()
+	c, err := warplda.GenerateLDA(warplda.SyntheticConfig{
+		D: 30, V: 60, K: k, MeanLen: 20, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := warplda.Train(c, warplda.Defaults(k), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// writeModel writes m to path atomically, the way warplda-train -save
+// does in production (Model.WriteFile: temp + rename).
+func writeModel(t testing.TB, path string, m *warplda.Model) {
+	t.Helper()
+	if _, err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openTestRegistry(t *testing.T, opts Options) (string, *Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	r, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return dir, r
+}
+
+func TestAcquireLoadsFileAndSubdirLayouts(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{})
+	writeModel(t, filepath.Join(dir, "flat.bin"), tinyModel(t, 2, 1))
+	if err := os.Mkdir(filepath.Join(dir, "nested"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeModel(t, filepath.Join(dir, "nested", "model.bin"), tinyModel(t, 3, 2))
+
+	flat, err := r.Acquire("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Model.Cfg.K != 2 || flat.Engine.K() != 2 || flat.Version != 1 {
+		t.Fatalf("flat: K=%d engine K=%d version=%d", flat.Model.Cfg.K, flat.Engine.K(), flat.Version)
+	}
+	nested, err := r.Acquire("nested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.Model.Cfg.K != 3 {
+		t.Fatalf("nested: K=%d", nested.Model.Cfg.K)
+	}
+	if flat.Bytes <= 0 || nested.Bytes <= 0 {
+		t.Fatalf("unaccounted snapshots: %d, %d", flat.Bytes, nested.Bytes)
+	}
+
+	// Second acquire is a cache hit on the same snapshot.
+	again, err := r.Acquire("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != flat {
+		t.Fatal("cache hit returned a different snapshot")
+	}
+	mi, ok := r.Info("flat")
+	if !ok || mi.State != "ready" || mi.Hits != 2 || mi.Loads != 1 {
+		t.Fatalf("flat info = %+v", mi)
+	}
+	st := r.RegistryStats()
+	if st.Ready != 2 || st.BytesResident != flat.Bytes+nested.Bytes {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAcquireRejectsUnknownAndBadNames(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{})
+	writeModel(t, filepath.Join(dir, "ok.bin"), tinyModel(t, 2, 1))
+
+	if _, err := r.Acquire("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	for _, name := range []string{"..", "a/b", "../ok", ".hidden", "", "a b"} {
+		if _, err := r.Acquire(name); !errors.Is(err, ErrBadName) {
+			t.Fatalf("%q: %v, want ErrBadName", name, err)
+		}
+	}
+	// Failed lookups must not leak entries.
+	if _, ok := r.Info("missing"); ok {
+		t.Fatal("missing name left an entry behind")
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	models := map[string]*warplda.Model{
+		"a": tinyModel(t, 2, 1),
+		"b": tinyModel(t, 2, 2),
+		"c": tinyModel(t, 2, 3),
+	}
+	var one int64
+	for name, m := range models {
+		writeModel(t, filepath.Join(dir, name+".bin"), m)
+		eng, err := warplda.NewInferEngine(m, warplda.InferOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := m.SizeBytes() + eng.MemoryBytes(); s > one {
+			one = s
+		}
+	}
+	// Budget for two models, not three.
+	budget := one*2 + one/2
+	r, err := Open(dir, Options{MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Acquire(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	st := r.RegistryStats()
+	if st.BytesResident > budget {
+		t.Fatalf("resident %d bytes over budget %d", st.BytesResident, budget)
+	}
+	if st.Evictions != 1 || st.Ready != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 ready", st)
+	}
+	mi, _ := r.Info("a")
+	if mi.State != "evicted" || mi.Evictions != 1 {
+		t.Fatalf("a info = %+v, want evicted", mi)
+	}
+
+	// Re-acquiring the evicted model reloads it and evicts the new LRU
+	// tail, which is b (c was used more recently).
+	snap, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("a version = %d, want 2 after reload", snap.Version)
+	}
+	if mi, _ := r.Info("b"); mi.State != "evicted" {
+		t.Fatalf("b info = %+v, want evicted (LRU order)", mi)
+	}
+	if mi, _ := r.Info("c"); mi.State != "ready" {
+		t.Fatalf("c info = %+v, want ready", mi)
+	}
+	if st := r.RegistryStats(); st.BytesResident > budget {
+		t.Fatalf("resident %d bytes over budget %d", st.BytesResident, budget)
+	}
+}
+
+func TestAcquireOverCapacityModel(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{MaxBytes: 128})
+	writeModel(t, filepath.Join(dir, "big.bin"), tinyModel(t, 2, 1))
+	if _, err := r.Acquire("big"); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("got %v, want ErrOverCapacity", err)
+	}
+	mi, ok := r.Info("big")
+	if !ok || mi.State != "failed" || mi.LastError == "" {
+		t.Fatalf("big info = %+v", mi)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestHotReloadSwapsModel(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{ReloadInterval: 2 * time.Millisecond})
+	path := filepath.Join(dir, "m.bin")
+	writeModel(t, path, tinyModel(t, 2, 1))
+
+	old, err := r.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Model.Cfg.K != 2 {
+		t.Fatalf("K = %d", old.Model.Cfg.K)
+	}
+
+	writeModel(t, path, tinyModel(t, 4, 2))
+	waitFor(t, 5*time.Second, "hot reload", func() bool {
+		mi, _ := r.Info("m")
+		return mi.Version >= 2
+	})
+	snap, err := r.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model.Cfg.K != 4 {
+		t.Fatalf("post-swap K = %d, want 4", snap.Model.Cfg.K)
+	}
+	// The old snapshot is untouched — in-flight requests that acquired
+	// it keep a consistent model+engine pair.
+	if old.Model.Cfg.K != 2 || old.Engine.K() != 2 {
+		t.Fatal("hot swap mutated the old snapshot")
+	}
+	mi, _ := r.Info("m")
+	if mi.Loads != 2 || mi.State != "ready" {
+		t.Fatalf("info = %+v", mi)
+	}
+}
+
+func TestHotReloadRejectsCorruptFileAndRecovers(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{ReloadInterval: 2 * time.Millisecond})
+	path := filepath.Join(dir, "m.bin")
+	writeModel(t, path, tinyModel(t, 2, 1))
+	if _, err := r.Acquire("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: valid prefix, missing tail. The CRC/EOF
+	// checks must reject it and the old snapshot must keep serving.
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "reload error", func() bool {
+		mi, _ := r.Info("m")
+		return mi.LastError != ""
+	})
+	snap, err := r.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model.Cfg.K != 2 || snap.Version != 1 {
+		t.Fatalf("torn file replaced the model: K=%d version=%d", snap.Model.Cfg.K, snap.Version)
+	}
+
+	// The writer finishes: the next poll picks the new model up and
+	// clears the error.
+	writeModel(t, path, tinyModel(t, 3, 9))
+	waitFor(t, 5*time.Second, "recovery reload", func() bool {
+		mi, _ := r.Info("m")
+		return mi.Version >= 2 && mi.LastError == ""
+	})
+	snap, err = r.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model.Cfg.K != 3 {
+		t.Fatalf("post-recovery K = %d, want 3", snap.Model.Cfg.K)
+	}
+}
+
+func TestConcurrentColdAcquires(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{})
+	writeModel(t, filepath.Join(dir, "m.bin"), tinyModel(t, 2, 1))
+
+	const n = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok, loading int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap, err := r.Acquire("m")
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && snap != nil:
+				ok++
+			case errors.Is(err, ErrLoading):
+				loading++
+			default:
+				t.Errorf("unexpected result: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Fatal("no goroutine ever got the model")
+	}
+	if ok+loading != n {
+		t.Fatalf("ok=%d loading=%d, want sum %d", ok, loading, n)
+	}
+	// Once resident, everyone hits.
+	if _, err := r.Acquire("m"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListMergesDiskAndResident(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{})
+	writeModel(t, filepath.Join(dir, "loaded.bin"), tinyModel(t, 2, 1))
+	writeModel(t, filepath.Join(dir, "cold.bin"), tinyModel(t, 2, 2))
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Acquire("loaded"); err != nil {
+		t.Fatal(err)
+	}
+
+	list := r.List()
+	if len(list) != 2 {
+		t.Fatalf("list = %+v, want 2 models", list)
+	}
+	if list[0].Name != "cold" || list[0].State != "available" {
+		t.Fatalf("list[0] = %+v", list[0])
+	}
+	if list[1].Name != "loaded" || list[1].State != "ready" || list[1].Bytes <= 0 {
+		t.Fatalf("list[1] = %+v", list[1])
+	}
+}
+
+func TestRestrictHidesSiblings(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, filepath.Join(dir, "public.bin"), tinyModel(t, 2, 1))
+	writeModel(t, filepath.Join(dir, "secret.bin"), tinyModel(t, 2, 2))
+	r, err := Open(dir, Options{Restrict: []string{"public"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.Acquire("public"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Acquire("secret"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restricted sibling served: %v", err)
+	}
+	list := r.List()
+	if len(list) != 1 || list[0].Name != "public" {
+		t.Fatalf("restricted list leaked siblings: %+v", list)
+	}
+	if _, ok := r.Info("secret"); ok {
+		t.Fatal("Info leaked a restricted sibling")
+	}
+}
+
+func TestFailedLoadIsNegativelyCached(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{})
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte("WARPLDA\x02garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err1 := r.Acquire("bad")
+	if err1 == nil {
+		t.Fatal("corrupt model accepted")
+	}
+	_, err2 := r.Acquire("bad")
+	if err2 == nil {
+		t.Fatal("corrupt model accepted on retry")
+	}
+	// The identical error VALUE proves the cache answered — the file
+	// was not re-read and no engine build was attempted.
+	if err1 != err2 {
+		t.Fatalf("retry re-paid the load: %v vs %v", err1, err2)
+	}
+	mi, _ := r.Info("bad")
+	if mi.State != "failed" || mi.LastError == "" {
+		t.Fatalf("info = %+v", mi)
+	}
+
+	// Replacing the file invalidates the cache and recovers.
+	writeModel(t, path, tinyModel(t, 3, 5))
+	snap, err := r.Acquire("bad")
+	if err != nil {
+		t.Fatalf("fixed file still refused: %v", err)
+	}
+	if snap.Model.Cfg.K != 3 {
+		t.Fatalf("K = %d", snap.Model.Cfg.K)
+	}
+}
+
+func TestCloseStopsRegistry(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{ReloadInterval: time.Millisecond})
+	writeModel(t, filepath.Join(dir, "m.bin"), tinyModel(t, 2, 1))
+	if _, err := r.Acquire("m"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Acquire("m"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

@@ -4,31 +4,49 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 )
 
-// modelMagic identifies the binary model format; bump the version byte on
-// incompatible changes.
-const modelMagic = "WARPLDA\x01"
+// Model file format magics. The version byte is bumped on incompatible
+// changes; ReadModel accepts every version listed here.
+//
+//   - v1: magic, header (V, K, α, β, logLik), Cw, Ck, vocabulary block.
+//   - v2: the same body, followed by a little-endian uint32 CRC32 (IEEE)
+//     trailer over every body byte after the magic. The checksum lets a
+//     reloading server reject torn or corrupted files instead of
+//     serving garbage.
+const (
+	modelMagicV1 = "WARPLDA\x01"
+	modelMagic   = "WARPLDA\x02" // current write format
+)
 
 // WriteTo serializes the model in a compact binary format (little
-// endian): header, config, counts, optional vocabulary. It implements
-// io.WriterTo.
+// endian): header, config, counts, optional vocabulary, CRC32 trailer.
+// It implements io.WriterTo and always writes the current (v2,
+// checksummed) format; ReadModel also accepts the pre-checksum v1
+// layout.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(modelMagic))
+	// Everything after the magic is checksummed; the trailer itself is not.
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
 	write := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(out, binary.LittleEndian, v); err != nil {
 			return err
 		}
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if _, err := bw.WriteString(modelMagic); err != nil {
-		return n, err
-	}
-	n += int64(len(modelMagic))
 	hdr := []any{
 		int64(m.V), int64(m.Cfg.K),
 		m.Cfg.Alpha, m.Cfg.Beta, m.LogLik,
@@ -57,26 +75,98 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			if err := write(int32(len(word))); err != nil {
 				return n, err
 			}
-			if _, err := bw.WriteString(word); err != nil {
+			if _, err := out.Write([]byte(word)); err != nil {
 				return n, err
 			}
 			n += int64(len(word))
 		}
 	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return n, err
+	}
+	n += 4
 	return n, bw.Flush()
 }
 
-// ReadModel deserializes a model written by WriteTo.
+// WriteFile writes the model snapshot to path atomically: a temp file
+// in the target directory, fsync, then rename. A process hot-watching
+// path (the serving registry's reload poller) can therefore never
+// observe a partial write — it sees the old complete file or the new
+// complete file, and anything else fails the format's checksum.
+func (m *Model) WriteFile(path string) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".warplda-model-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := m.WriteTo(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// crcReader hashes exactly the bytes its consumer reads, so the
+// checksum covers the payload regardless of any buffering underneath.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadModel deserializes a model written by WriteTo. It accepts the
+// current checksummed format and the legacy v1 layout; for checksummed
+// files a trailer mismatch (torn write, bit rot) is an error before any
+// model is returned.
 func ReadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(modelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("warplda: reading model header: %w", err)
 	}
-	if string(magic) != modelMagic {
+	switch string(magic) {
+	case modelMagicV1:
+		return readModelBody(br)
+	case modelMagic:
+		cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+		m, err := readModelBody(cr)
+		if err != nil {
+			return nil, err
+		}
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, fmt.Errorf("warplda: reading model checksum: %w", err)
+		}
+		if got := cr.crc.Sum32(); got != want {
+			return nil, fmt.Errorf("warplda: model checksum mismatch (file %08x, computed %08x): torn or corrupt file", want, got)
+		}
+		return m, nil
+	default:
 		return nil, fmt.Errorf("warplda: not a model file (bad magic)")
 	}
-	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+}
+
+// readModelBody parses the post-magic body shared by every format
+// version and validates that the result can be served: plausible dims,
+// finite positive priors (a NaN/Inf prior would make every Φ̂ entry
+// NaN), and non-negative counts.
+func readModelBody(r io.Reader) (*Model, error) {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
 	var v64, k64 int64
 	var alpha, beta, logLik float64
 	for _, p := range []any{&v64, &k64, &alpha, &beta, &logLik} {
@@ -88,8 +178,11 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if v64 <= 0 || k64 <= 0 || v64 > maxDim || k64 > maxDim || v64*k64 > maxDim {
 		return nil, fmt.Errorf("warplda: implausible model dims V=%d K=%d", v64, k64)
 	}
-	if !(alpha > 0) || !(beta > 0) || math.IsNaN(logLik) {
-		return nil, fmt.Errorf("warplda: corrupt model hyper-parameters")
+	if !(alpha > 0) || !(beta > 0) || math.IsInf(alpha, 0) || math.IsInf(beta, 0) {
+		return nil, fmt.Errorf("warplda: corrupt model hyper-parameters α=%g β=%g (Φ̂ would be NaN or non-normalizable)", alpha, beta)
+	}
+	if math.IsNaN(logLik) {
+		return nil, fmt.Errorf("warplda: corrupt model log-likelihood (NaN)")
 	}
 	m := &Model{
 		Cfg:    Config{K: int(k64), Alpha: alpha, Beta: beta},
@@ -104,11 +197,23 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err := read(m.Ck); err != nil {
 		return nil, fmt.Errorf("warplda: reading counts: %w", err)
 	}
+	for i, c := range m.Cw {
+		if c < 0 {
+			return nil, fmt.Errorf("warplda: negative word-topic count Cw[%d] = %d", i, c)
+		}
+	}
+	for k, c := range m.Ck {
+		if c < 0 {
+			return nil, fmt.Errorf("warplda: negative topic count Ck[%d] = %d", k, c)
+		}
+	}
 	var hasVocab int64
 	if err := read(&hasVocab); err != nil {
 		return nil, fmt.Errorf("warplda: reading vocabulary flag: %w", err)
 	}
-	if hasVocab == 1 {
+	switch hasVocab {
+	case 0:
+	case 1:
 		m.Vocab = make([]string, v64)
 		for i := range m.Vocab {
 			var l int32
@@ -119,11 +224,13 @@ func ReadModel(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("warplda: implausible word length %d", l)
 			}
 			buf := make([]byte, l)
-			if _, err := io.ReadFull(br, buf); err != nil {
+			if _, err := io.ReadFull(r, buf); err != nil {
 				return nil, fmt.Errorf("warplda: reading vocabulary: %w", err)
 			}
 			m.Vocab[i] = string(buf)
 		}
+	default:
+		return nil, fmt.Errorf("warplda: corrupt vocabulary flag %d", hasVocab)
 	}
 	return m, nil
 }

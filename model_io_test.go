@@ -2,6 +2,7 @@ package warplda
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"reflect"
 	"strings"
@@ -74,29 +75,130 @@ func TestModelRoundTripNoVocab(t *testing.T) {
 	}
 }
 
-func TestReadModelRejectsGarbage(t *testing.T) {
-	cases := map[string]string{
-		"empty":     "",
-		"bad magic": "NOTAMODELXXXXXXXXXXXXXXXXXXXXXXX",
-		"truncated": modelMagic,
-	}
-	for name, in := range cases {
-		if _, err := ReadModel(strings.NewReader(in)); err == nil {
-			t.Errorf("%s accepted", name)
+// writeLegacyV1 serializes m in the pre-checksum v1 layout, matching
+// the original WriteTo byte for byte, so backward compatibility stays
+// pinned even though the writer now always emits v2.
+func writeLegacyV1(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(modelMagicV1)
+	write := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
 		}
 	}
-	// Corrupt dims.
-	_, m := trainedModel(t, false)
+	write(int64(m.V))
+	write(int64(m.Cfg.K))
+	write(m.Cfg.Alpha)
+	write(m.Cfg.Beta)
+	write(m.LogLik)
+	write(m.Cw)
+	write(m.Ck)
+	if m.Vocab == nil {
+		write(int64(0))
+	} else {
+		write(int64(1))
+		for _, w := range m.Vocab {
+			write(int32(len(w)))
+			buf.WriteString(w)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadModelLegacyV1(t *testing.T) {
+	_, m := trainedModel(t, true)
+	got, err := ReadModel(bytes.NewReader(writeLegacyV1(t, m)))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got.Cw, m.Cw) || !reflect.DeepEqual(got.Vocab, m.Vocab) {
+		t.Fatal("v1 round trip changed the model")
+	}
+}
+
+// TestReadModelCorruption feeds ReadModel every corruption class the
+// serving registry must survive on hot reload: each case must return a
+// descriptive error — never a panic, never a silently-broken model.
+func TestReadModelCorruption(t *testing.T) {
+	_, m := trainedModel(t, true)
 	var buf bytes.Buffer
 	if _, err := m.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	b := buf.Bytes()
-	for i := len(modelMagic); i < len(modelMagic)+8; i++ {
-		b[i] = 0xff // V becomes a huge/negative value
+	good := buf.Bytes()
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
 	}
-	if _, err := ReadModel(bytes.NewReader(b)); err == nil {
-		t.Error("corrupt dims accepted")
+	nanPhi := func() []byte {
+		// A NaN β poisons every Φ̂_wk = (C_wk+β)/(C_k+β̄) entry. Written
+		// through WriteTo so the checksum is valid: validation, not the
+		// CRC, must catch it.
+		bad := *m
+		bad.Cfg.Beta = math.NaN()
+		var nb bytes.Buffer
+		if _, err := bad.WriteTo(&nb); err != nil {
+			t.Fatal(err)
+		}
+		return nb.Bytes()
+	}
+	negCount := func() []byte {
+		bad := *m
+		bad.Cw = append([]int32(nil), m.Cw...)
+		bad.Cw[3] = -7
+		var nb bytes.Buffer
+		if _, err := bad.WriteTo(&nb); err != nil {
+			t.Fatal(err)
+		}
+		return nb.Bytes()
+	}
+
+	cases := map[string]struct {
+		in      []byte
+		errWant string // substring the error must contain
+	}{
+		"empty":            {nil, "reading model header"},
+		"bad magic":        {[]byte("NOTAMODELXXXXXXXXXXXXXXXXXXXXXXX"), "bad magic"},
+		"magic only":       {[]byte(modelMagic), "reading model header"},
+		"truncated header": {good[:12], "reading model header"},
+		"truncated counts": {good[:len(modelMagic)+40+6], "reading counts"},
+		"missing trailer":  {good[:len(good)-4], ""},
+		"checksum mismatch": {corrupt(func(b []byte) []byte {
+			b[len(modelMagic)+40+2] ^= 0x40 // flip a bit inside Cw
+			return b
+		}), "checksum mismatch"},
+		"huge dims": {corrupt(func(b []byte) []byte {
+			for i := len(modelMagic); i < len(modelMagic)+8; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}), "implausible model dims"},
+		"NaN in phi":     {nanPhi(), "Φ̂ would be NaN"},
+		"negative count": {negCount(), "negative word-topic count"},
+	}
+	for name, tc := range cases {
+		got, err := ReadModel(bytes.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted (model V=%d K=%d)", name, got.V, got.Cfg.K)
+			continue
+		}
+		if tc.errWant != "" && !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.errWant)
+		}
+	}
+}
+
+func TestWriteToReportsSize(t *testing.T) {
+	_, m := trainedModel(t, true)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
 	}
 }
 

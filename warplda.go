@@ -183,6 +183,20 @@ func Snapshot(c *Corpus, s Sampler, cfg Config) *Model {
 	return m
 }
 
+// SizeBytes estimates the resident memory of the model's count
+// matrices and vocabulary. Serving layers (internal/registry) use it,
+// together with InferEngine.MemoryBytes, to enforce an LRU byte budget
+// across co-resident models; it is an accounting estimate, not an exact
+// allocator measurement.
+func (m *Model) SizeBytes() int64 {
+	n := int64(len(m.Cw))*4 + int64(len(m.Ck))*8
+	for _, w := range m.Vocab {
+		// String header (pointer+len) plus payload.
+		n += int64(len(w)) + 16
+	}
+	return n
+}
+
 // Phi returns the MAP estimate φ̂_wk = (C_wk+β)/(C_k+β̄) for one word and
 // topic.
 func (m *Model) Phi(w, k int) float64 {
