@@ -8,65 +8,146 @@
 //	warplda-train -corpus docword.nytimes.txt -vocab vocab.nytimes.txt \
 //	    -algo warplda -topics 1000 -m 2 -iters 300 -eval-every 10
 //
-// A model saved with -save is the snapshot cmd/warplda-serve loads. It
-// is written in the versioned, CRC32-checksummed snapshot format
-// (WARPLDA v2) and lands via temp-file + atomic rename, so a serving
-// process hot-watching the path can never load a torn write: it either
-// sees the old complete file or the new complete file, and anything in
-// between fails the checksum and is refused.
+// Long runs are restartable: with -checkpoint-dir the trainer writes a
+// CRC-checksummed, atomically-renamed snapshot of its complete state
+// every -checkpoint-every iterations, and SIGINT/SIGTERM make it finish
+// the current iteration, checkpoint, and exit (status 3) instead of
+// dying mid-pass. A later invocation with -resume continues the run
+// bit-identically — same assignments, same log-likelihood trace — as if
+// it had never been interrupted. -budget bounds cumulative sampling
+// time the same way.
+//
+//	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/
+//	^C (or kubectl delete pod, spot preemption, ...)
+//	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/ -resume ckpt/
+//
+// A model saved with -save is the snapshot cmd/warplda-serve loads,
+// written in the versioned, CRC32-checksummed format (WARPLDA v2) via
+// temp-file + atomic rename. -publish <model-dir>/<name> drops the same
+// snapshot into a warplda-serve model directory under the name the
+// registry serves it as, so a running server's hot-reload picks the new
+// model up without a restart — the full train→serve pipeline in one
+// flag.
+//
+// Exit status: 0 on completion, 1 on errors, 2 on usage errors, 3 when
+// interrupted or over budget (checkpoint written if -checkpoint-dir was
+// given; a second signal aborts immediately with status 130).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"warplda"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// trainFlags carries the flag values validateFlags checks (split out so
+// the validation is unit-testable).
+type trainFlags struct {
+	corpusPath string
+	algo       string
+	topics     int
+	m          int
+	iters      int
+	threads    int
+	budget     time.Duration
+	publish    string
+}
+
+// validateFlags rejects configurations that would previously misbehave
+// silently (zero-iteration "runs", zero-topic models, negative MH step
+// counts).
+func validateFlags(f trainFlags) error {
+	if f.corpusPath == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	if f.iters <= 0 {
+		return fmt.Errorf("-iters = %d, want > 0", f.iters)
+	}
+	if f.topics <= 0 {
+		return fmt.Errorf("-topics = %d, want > 0", f.topics)
+	}
+	if f.m < 0 {
+		return fmt.Errorf("-m = %d, want >= 0", f.m)
+	}
+	if f.threads < 1 {
+		return fmt.Errorf("-threads = %d, want >= 1", f.threads)
+	}
+	if f.budget < 0 {
+		return fmt.Errorf("-budget = %v, want >= 0", f.budget)
+	}
+	if f.publish != "" {
+		if _, _, err := warplda.PublishModelPath(f.publish); err != nil {
+			return err
+		}
+	}
+	known := append(append([]string(nil), warplda.Algorithms...), warplda.Distributed)
+	for _, a := range known {
+		if f.algo == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("-algo = %q, want one of %v", f.algo, known)
+}
+
+func run() int {
 	var (
 		corpusPath = flag.String("corpus", "", "UCI bag-of-words file (required)")
 		vocabPath  = flag.String("vocab", "", "optional vocabulary file (one word per line)")
-		algo       = flag.String("algo", warplda.WarpLDA, "sampler: warplda|cgs|sparselda|aliaslda|flda|lightlda")
+		algo       = flag.String("algo", warplda.WarpLDA, "sampler: warplda|cgs|sparselda|aliaslda|flda|lightlda|distributed")
 		topics     = flag.Int("topics", 100, "number of topics K")
 		m          = flag.Int("m", 2, "MH steps per token (MH-based samplers)")
-		iters      = flag.Int("iters", 100, "training iterations")
+		iters      = flag.Int("iters", 100, "training iterations (total, including resumed ones)")
 		evalEvery  = flag.Int("eval-every", 10, "log-likelihood evaluation interval")
-		threads    = flag.Int("threads", 1, "worker threads (warplda only)")
+		threads    = flag.Int("threads", 1, "worker threads/shards (parallel samplers: warplda, distributed)")
 		seed       = flag.Uint64("seed", 42, "random seed")
 		topWords   = flag.Int("top-words", 10, "top words to print per topic")
 		maxTopics  = flag.Int("print-topics", 10, "number of topics to print")
 		savePath   = flag.String("save", "", "write the trained model snapshot here (for warplda-serve)")
+		ckptDir    = flag.String("checkpoint-dir", "", "write resumable checkpoints into this directory")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "checkpoint interval in iterations (<= 0: only at interruption and completion)")
+		resumePath = flag.String("resume", "", "resume from this checkpoint file (or its directory); reuses the checkpoint's configuration — pass the same -algo")
+		publish    = flag.String("publish", "", "after training, atomically install the model as <model-dir>/<name> for a running warplda-serve")
+		budget     = flag.Duration("budget", 0, "wall-clock sampling budget (e.g. 2h30m); 0 = none")
 	)
 	flag.Parse()
 
-	if *corpusPath == "" {
-		fmt.Fprintln(os.Stderr, "warplda-train: -corpus is required")
+	if err := validateFlags(trainFlags{
+		corpusPath: *corpusPath, algo: *algo, topics: *topics, m: *m,
+		iters: *iters, threads: *threads, budget: *budget, publish: *publish,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+
 	f, err := os.Open(*corpusPath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	c, err := warplda.ReadUCI(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if *vocabPath != "" {
 		vf, err := os.Open(*vocabPath)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		vocab, err := warplda.ReadVocab(vf)
 		vf.Close()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if len(vocab) != c.V {
-			fatal(fmt.Errorf("vocab has %d words, corpus declares %d", len(vocab), c.V))
+			return fatal(fmt.Errorf("vocab has %d words, corpus declares %d", len(vocab), c.V))
 		}
 		c.Vocab = vocab
 	}
@@ -76,39 +157,152 @@ func main() {
 	cfg.M = *m
 	cfg.Seed = *seed
 	cfg.Threads = *threads
-	s, err := warplda.NewSampler(*algo, c, cfg)
-	if err != nil {
-		fatal(err)
+
+	var resume *warplda.Checkpoint
+	if *resumePath != "" {
+		ck, err := warplda.LoadCheckpoint(*resumePath)
+		if err != nil {
+			return fatal(err)
+		}
+		// The checkpoint is authoritative for the run's hyper-parameters.
+		// Unset flags inherit its values; a hyper-parameter flag that was
+		// explicitly set AND disagrees with the checkpoint is rejected —
+		// silently training with different values than the user asked for
+		// would be worse than an error.
+		set := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+		for _, conflict := range []struct {
+			flag string
+			bad  bool
+			got  any
+			want any
+		}{
+			{"topics", *topics != ck.Cfg.K, *topics, ck.Cfg.K},
+			{"m", *m != ck.Cfg.M, *m, ck.Cfg.M},
+			{"seed", *seed != ck.Cfg.Seed, *seed, ck.Cfg.Seed},
+			{"threads", *threads != ck.Cfg.Threads, *threads, ck.Cfg.Threads},
+		} {
+			if set[conflict.flag] && conflict.bad {
+				return fatal(fmt.Errorf("-%s %v conflicts with the checkpoint's %v; drop the flag to resume (checkpoints carry their hyper-parameters)",
+					conflict.flag, conflict.got, conflict.want))
+			}
+		}
+		cfg = ck.Cfg
+		resume = ck
+		fmt.Printf("resuming %s from iteration %d (%s sampling time so far; K=%d M=%d seed=%d threads=%d)\n",
+			ck.Sampler, ck.Iter, ck.Elapsed.Round(time.Millisecond),
+			cfg.K, cfg.M, cfg.Seed, cfg.Threads)
 	}
 
-	run := warplda.TrainSampler(s, c, cfg, *iters, *evalEvery)
-	for _, p := range run.Points {
-		fmt.Printf("iter %4d  logLik %.6e  time %8.2fs  %6.2f Mtoken/s\n",
-			p.Iter, p.LogLik, p.Elapsed.Seconds(), p.TokensSec/1e6)
+	s, err := warplda.NewSampler(*algo, c, cfg)
+	if err != nil {
+		return fatal(err)
+	}
+
+	// First signal: finish the current iteration, checkpoint, exit
+	// cleanly. Second signal: abort now.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "warplda-train: %v: finishing current iteration and checkpointing (signal again to abort)\n", sig)
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+
+	res, err := warplda.TrainCheckpointed(s, c, cfg, warplda.TrainOptions{
+		Iters:           *iters,
+		EvalEvery:       *evalEvery,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Budget:          *budget,
+		Stop:            stop,
+		ResumeFrom:      resume,
+		Progress: func(ev warplda.TrainEvent) {
+			if p := ev.Eval; p != nil {
+				fmt.Printf("iter %4d  logLik %.6e  time %8.2fs  %6.2f Mtoken/s (interval %6.2f)\n",
+					p.Iter, p.LogLik, p.Elapsed.Seconds(), p.TokensSec/1e6, p.IntervalTokensSec/1e6)
+			}
+			if ev.Checkpoint != "" {
+				fmt.Printf("checkpoint: iter %d -> %s\n", ev.Iter, ev.Checkpoint)
+			}
+		},
+	})
+	signal.Stop(sigs)
+	if err != nil {
+		return fatal(err)
+	}
+
+	if !res.Completed {
+		reason := "interrupted"
+		if res.OverBudget {
+			reason = fmt.Sprintf("budget of %v exhausted", *budget)
+		}
+		fmt.Fprintf(os.Stderr, "warplda-train: %s at iteration %d/%d\n", reason, res.Iter, *iters)
+		if res.CheckpointPath != "" {
+			// Reconstruct the full invocation so copy-pasting it resumes the
+			// run exactly: same outputs, same eval schedule, checkpointing
+			// still on. Hyper-parameters travel inside the checkpoint.
+			cmd := fmt.Sprintf("warplda-train -corpus %s -algo %s -iters %d -eval-every %d -checkpoint-dir %s -checkpoint-every %d",
+				*corpusPath, *algo, *iters, *evalEvery, *ckptDir, *ckptEvery)
+			if *vocabPath != "" {
+				cmd += " -vocab " + *vocabPath
+			}
+			// Elapsed sampling time is cumulative across resumes, so after a
+			// budget stop the same -budget would halt again immediately —
+			// suggest it only for signal interruptions.
+			if *budget > 0 && !res.OverBudget {
+				cmd += " -budget " + budget.String()
+			}
+			if *savePath != "" {
+				cmd += " -save " + *savePath
+			}
+			if *publish != "" {
+				cmd += " -publish " + *publish
+			}
+			fmt.Fprintf(os.Stderr, "warplda-train: resume with: %s -resume %s\n", cmd, res.CheckpointPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "warplda-train: no checkpoint written (set -checkpoint-dir); progress lost")
+		}
+		return 3
 	}
 
 	model := warplda.Snapshot(c, s, cfg)
 	if *savePath != "" {
 		n, err := model.WriteFile(*savePath)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Printf("model saved to %s (%d bytes, checksummed snapshot v2)\n", *savePath, n)
 	}
-	n := *maxTopics
-	if n > *topics {
-		n = *topics
+	if *publish != "" {
+		path, name, err := warplda.PublishModelPath(*publish)
+		if err != nil {
+			return fatal(err)
+		}
+		n, err := model.WriteFile(path)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Printf("model published as %q -> %s (%d bytes; a watching warplda-serve hot-reloads it)\n", name, path, n)
 	}
-	for k := 0; k < n; k++ {
+	nTop := *maxTopics
+	if nTop > cfg.K {
+		nTop = cfg.K
+	}
+	for k := 0; k < nTop; k++ {
 		fmt.Printf("topic %3d:", k)
 		for _, w := range model.TopWords(k, *topWords) {
 			fmt.Printf(" %s", w)
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := trainFlags{corpusPath: "c.uci", algo: "warplda", topics: 100, m: 2, iters: 10, threads: 1}
+	if err := validateFlags(ok); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*trainFlags)
+		wantSub string
+	}{
+		{"missing corpus", func(f *trainFlags) { f.corpusPath = "" }, "-corpus"},
+		{"zero iters", func(f *trainFlags) { f.iters = 0 }, "-iters"},
+		{"negative iters", func(f *trainFlags) { f.iters = -5 }, "-iters"},
+		{"zero topics", func(f *trainFlags) { f.topics = 0 }, "-topics"},
+		{"negative topics", func(f *trainFlags) { f.topics = -1 }, "-topics"},
+		{"negative m", func(f *trainFlags) { f.m = -1 }, "-m"},
+		{"zero threads", func(f *trainFlags) { f.threads = 0 }, "-threads"},
+		{"negative budget", func(f *trainFlags) { f.budget = -time.Second }, "-budget"},
+		{"unknown algo", func(f *trainFlags) { f.algo = "vibes" }, "-algo"},
+		{"publish without name", func(f *trainFlags) { f.publish = "justaname" }, "publish"},
+		{"publish with .bin", func(f *trainFlags) { f.publish = "models/news.bin" }, ".bin"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ok
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if err == nil {
+				t.Fatalf("%+v accepted", f)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The distributed sampler takes workers via -threads too.
+	dist := ok
+	dist.algo = "distributed"
+	dist.threads = 4
+	if err := validateFlags(dist); err != nil {
+		t.Fatalf("distributed rejected: %v", err)
+	}
+	// m = 0 is legal for the non-MH samplers.
+	cgs := ok
+	cgs.algo = "cgs"
+	cgs.m = 0
+	if err := validateFlags(cgs); err != nil {
+		t.Fatalf("cgs with m=0 rejected: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package baselines
 
 import (
+	"io"
+	"math"
+
 	"warplda/internal/alias"
 	"warplda/internal/corpus"
 	"warplda/internal/sampler"
@@ -62,6 +65,99 @@ func NewAliasLDA(c *corpus.Corpus, cfg sampler.Config) (*AliasLDA, error) {
 // Name implements sampler.Sampler.
 func (a *AliasLDA) Name() string { return "AliasLDA" }
 
+const aliasLDAStateTag = "alia\x01"
+
+// StateTo implements sampler.Sampler. The stale word-proposal machinery
+// is real state: staleQ (the distribution each alias table was built
+// from — the tables themselves are rebuilt from it on restore),
+// staleSum, and the per-word rebuild countdowns, plus the per-document
+// non-zero topic lists whose scan order matters for bit-identical
+// resume.
+func (a *AliasLDA) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(aliasLDAStateTag)
+	a.encodeBase(e)
+	e.I32Mat(a.docTopics)
+	e.I32s(a.drawsLeft)
+	for wid := 0; wid < a.c.V; wid++ {
+		if a.staleQ[wid] == nil {
+			e.Int(0)
+			continue
+		}
+		e.Int(1)
+		e.F32s(a.staleQ[wid])
+		e.F64(a.staleSum[wid])
+	}
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (a *AliasLDA) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(aliasLDAStateTag)
+	z, rngState := a.decodeBase(d)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	cd := make([]int32, len(a.cd))
+	for di := range a.c.Docs {
+		for _, t := range z[di] {
+			cd[di*a.k+int(t)]++
+		}
+	}
+	docTopics := decodeTopicLists(d, "doc topic lists", cd, a.c.NumDocs(), a.k)
+	drawsLeft := d.I32sLen("rebuild countdowns", a.c.V)
+	staleQ := make([][]float32, a.c.V)
+	staleSum := make([]float64, a.c.V)
+	for wid := 0; wid < a.c.V && d.Err() == nil; wid++ {
+		switch has := d.Int(); has {
+		case 0:
+		case 1:
+			staleQ[wid] = d.F32sLen("stale word distribution", a.k)
+			staleSum[wid] = d.F64()
+			// The stale densities are (C+β)/(C_k+β̄) values: strictly
+			// positive and finite. A NaN or non-positive entry would feed
+			// the MH correction and mixture weights silently.
+			for k, q := range staleQ[wid] {
+				if !(q > 0) || math.IsInf(float64(q), 0) {
+					d.Failf("baselines: corrupt stale density %g for word %d topic %d", q, wid, k)
+					break
+				}
+			}
+			if !(staleSum[wid] > 0) || math.IsInf(staleSum[wid], 0) {
+				d.Failf("baselines: corrupt stale mass %g for word %d", staleSum[wid], wid)
+			}
+		default:
+			d.Failf("baselines: corrupt stale-table flag %d for word %d", has, wid)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	a.commitBase(z, rngState)
+	a.docTopics = docTopics
+	a.drawsLeft = drawsLeft
+	a.staleQ = staleQ
+	a.staleSum = staleSum
+	// Rebuild each alias table from its serialized stale distribution —
+	// rebuildWord constructs tables from the same float32-rounded values,
+	// so the restored tables match the live ones bit for bit.
+	for wid := 0; wid < a.c.V; wid++ {
+		if staleQ[wid] == nil {
+			a.wordAlias[wid] = nil
+			continue
+		}
+		for k := 0; k < a.k; k++ {
+			a.buildProbs[k] = float64(staleQ[wid][k])
+		}
+		if a.wordAlias[wid] == nil {
+			a.wordAlias[wid] = &alias.Table{}
+		}
+		a.wordAlias[wid].Build(a.buildProbs)
+	}
+	return nil
+}
+
 // rebuildWord refreshes word w's stale distribution and alias table.
 func (a *AliasLDA) rebuildWord(w int32) {
 	if a.staleQ[w] == nil {
@@ -71,9 +167,14 @@ func (a *AliasLDA) rebuildWord(w int32) {
 	var sum float64
 	for k := 0; k < a.k; k++ {
 		q := (float64(cw[k]) + a.beta) / (float64(a.ck[k]) + a.betaBar)
+		// Build table and normalizer from the float32-rounded value the MH
+		// correction will read back from staleQ — and that a checkpoint
+		// serializes — so the live table, the correction density, and a
+		// table rebuilt on restore are all views of the same distribution.
+		qr := float64(float32(q))
 		a.staleQ[w][k] = float32(q)
-		a.buildProbs[k] = q
-		sum += q
+		a.buildProbs[k] = qr
+		sum += qr
 	}
 	if a.wordAlias[w] == nil {
 		a.wordAlias[w] = &alias.Table{}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -260,4 +261,184 @@ func benchIterate(b *testing.B, name string) {
 		s.Iterate()
 	}
 	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// TestStateResumeBitIdentical is the checkpoint/resume contract for
+// every baseline: N iterations, StateTo, RestoreFrom into a *fresh*
+// sampler, N more iterations — and the trajectory must match an
+// uninterrupted 2N-iteration run token for token.
+func TestStateResumeBitIdentical(t *testing.T) {
+	c := testCorpus(9)
+	cfg := testCfg(6)
+	full := allSamplers(t, c, cfg)
+	half := allSamplers(t, c, cfg)
+	fresh := allSamplers(t, c, cfg)
+	const n = 4
+	for name, s := range full {
+		for i := 0; i < 2*n; i++ {
+			s.Iterate()
+		}
+		h := half[name]
+		for i := 0; i < n; i++ {
+			h.Iterate()
+		}
+		var buf bytes.Buffer
+		if err := h.StateTo(&buf); err != nil {
+			t.Fatalf("%s: StateTo: %v", name, err)
+		}
+		f := fresh[name]
+		if err := f.RestoreFrom(&buf); err != nil {
+			t.Fatalf("%s: RestoreFrom: %v", name, err)
+		}
+		if err := f.check(); err != nil {
+			t.Fatalf("%s: counts inconsistent after restore: %v", name, err)
+		}
+		for i := 0; i < n; i++ {
+			f.Iterate()
+		}
+		if !reflect.DeepEqual(f.Assignments(), s.Assignments()) {
+			t.Errorf("%s: resumed run diverged from uninterrupted run", name)
+		}
+	}
+}
+
+// The LightLDA ablation variants carry extra state (frozen snapshots,
+// stale tables on different refresh schedules); each must resume
+// bit-identically too.
+func TestLightLDAVariantsResumeBitIdentical(t *testing.T) {
+	c := testCorpus(10)
+	cfg := testCfg(6)
+	variants := []LightLDAOptions{
+		{},
+		{RefreshTokens: 97}, // stock with a short staleness budget
+		{DelayWordCounts: true},
+		{DelayWordCounts: true, DelayDocCounts: true},
+		{DelayWordCounts: true, DelayDocCounts: true, SimpleProposal: true},
+	}
+	const n = 3
+	for _, opt := range variants {
+		mk := func() *LightLDA {
+			l, err := NewLightLDA(c, cfg, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		}
+		s, h, f := mk(), mk(), mk()
+		for i := 0; i < 2*n; i++ {
+			s.Iterate()
+		}
+		for i := 0; i < n; i++ {
+			h.Iterate()
+		}
+		var buf bytes.Buffer
+		if err := h.StateTo(&buf); err != nil {
+			t.Fatalf("%s: StateTo: %v", h.Name(), err)
+		}
+		if err := f.RestoreFrom(&buf); err != nil {
+			t.Fatalf("%s: RestoreFrom: %v", f.Name(), err)
+		}
+		for i := 0; i < n; i++ {
+			f.Iterate()
+		}
+		if !reflect.DeepEqual(f.Assignments(), s.Assignments()) {
+			t.Errorf("%s (refresh %d): resumed run diverged", s.Name(), opt.RefreshTokens)
+		}
+	}
+}
+
+// A corrupt or mismatched state blob must fail cleanly: error returned,
+// sampler untouched and still consistent.
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	c := testCorpus(11)
+	cfg := testCfg(6)
+	donor := allSamplers(t, c, cfg)
+	for name, s := range donor {
+		s.Iterate()
+		var buf bytes.Buffer
+		if err := s.StateTo(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		blob := buf.Bytes()
+
+		for _, tc := range []struct {
+			name string
+			blob []byte
+			into func() consistencyChecker
+		}{
+			{"truncated", blob[:len(blob)/2], func() consistencyChecker { return allSamplers(t, c, cfg)[name] }},
+			{"wrong tag", append([]byte("xxxx\x01"), blob[5:]...), func() consistencyChecker { return allSamplers(t, c, cfg)[name] }},
+			{"wrong K", blob, func() consistencyChecker { return allSamplers(t, c, testCfg(7))[name] }},
+		} {
+			target := tc.into()
+			if err := target.RestoreFrom(bytes.NewReader(tc.blob)); err == nil {
+				t.Errorf("%s/%s: corrupt state accepted", name, tc.name)
+				continue
+			}
+			if err := target.check(); err != nil {
+				t.Errorf("%s/%s: sampler mutated by failed restore: %v", name, tc.name, err)
+			}
+			target.Iterate() // must still be usable
+			if err := target.check(); err != nil {
+				t.Errorf("%s/%s: sampler unusable after failed restore: %v", name, tc.name, err)
+			}
+		}
+	}
+}
+
+// Float state (stale densities, proposal weights) must be validated on
+// restore too: a CRC-clean blob carrying NaN or non-positive masses
+// would silently skew every draw.
+func TestRestoreRejectsCorruptFloatState(t *testing.T) {
+	c := testCorpus(12)
+	cfg := testCfg(6)
+
+	t.Run("aliaslda stale mass", func(t *testing.T) {
+		a, err := NewAliasLDA(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Iterate()
+		for w := range a.staleSum {
+			if a.staleQ[w] != nil {
+				a.staleSum[w] = math.NaN()
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := a.StateTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewAliasLDA(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.RestoreFrom(&buf); err == nil {
+			t.Fatal("NaN stale mass accepted")
+		}
+	})
+	t.Run("lightlda proposal weight", func(t *testing.T) {
+		l, err := NewLightLDA(c, cfg, LightLDAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Iterate()
+		for w := range l.words {
+			if len(l.words[w].weights) > 0 {
+				l.words[w].weights[0] = -1
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := l.StateTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewLightLDA(c, cfg, LightLDAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.RestoreFrom(&buf); err == nil {
+			t.Fatal("negative proposal weight accepted")
+		}
+	})
 }

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"io"
+
 	"warplda/internal/corpus"
 	"warplda/internal/sampler"
 )
@@ -28,6 +30,30 @@ func NewCGS(c *corpus.Corpus, cfg sampler.Config) (*CGS, error) {
 
 // Name implements sampler.Sampler.
 func (g *CGS) Name() string { return "CGS" }
+
+const cgsStateTag = "cgs\x01"
+
+// StateTo implements sampler.Sampler. CGS's only mutable state beyond
+// the counts (which are pure functions of z) is the assignment matrix
+// and the RNG stream.
+func (g *CGS) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(cgsStateTag)
+	g.encodeBase(e)
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (g *CGS) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(cgsStateTag)
+	z, rngState := g.decodeBase(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.commitBase(z, rngState)
+	return nil
+}
 
 // Iterate implements sampler.Sampler: one document-by-document sweep.
 func (g *CGS) Iterate() {

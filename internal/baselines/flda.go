@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"io"
+
 	"warplda/internal/corpus"
 	"warplda/internal/ftree"
 	"warplda/internal/sampler"
@@ -56,6 +58,43 @@ func NewFPlusLDA(c *corpus.Corpus, cfg sampler.Config) (*FPlusLDA, error) {
 
 // Name implements sampler.Sampler.
 func (f *FPlusLDA) Name() string { return "F+LDA" }
+
+const fldaStateTag = "flda\x01"
+
+// StateTo implements sampler.Sampler. The F+ tree is rebuilt per word
+// inside Iterate and the word-major index is immutable, so beyond the
+// base only the per-document topic lists (scan order matters) are
+// state.
+func (f *FPlusLDA) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(fldaStateTag)
+	f.encodeBase(e)
+	e.I32Mat(f.docTopics)
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (f *FPlusLDA) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(fldaStateTag)
+	z, rngState := f.decodeBase(d)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	cd := make([]int32, len(f.cd))
+	for di := range f.c.Docs {
+		for _, t := range z[di] {
+			cd[di*f.k+int(t)]++
+		}
+	}
+	docTopics := decodeTopicLists(d, "doc topic lists", cd, f.c.NumDocs(), f.k)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.commitBase(z, rngState)
+	f.docTopics = docTopics
+	return nil
+}
 
 func (f *FPlusLDA) treeWeight(w int32, k int32) float64 {
 	return (float64(f.cwRow(w)[k]) + f.beta) / (float64(f.ck[k]) + f.betaBar)

@@ -1,10 +1,17 @@
 package baselines
 
 import (
+	"io"
+	"math"
+
 	"warplda/internal/alias"
 	"warplda/internal/corpus"
 	"warplda/internal/sampler"
 )
+
+// neverBuilt marks a word whose stale proposal table has not been built
+// yet (forces a build on first touch).
+const neverBuilt = -1 << 62
 
 // LightLDAOptions select the Figure-7 ablation variants that bridge from
 // stock LightLDA to WarpLDA's MCEM semantics:
@@ -33,8 +40,13 @@ type LightLDAOptions struct {
 // a sparse alias table over the count part plus the mass split against
 // the shared smoothing part.
 type wordProp struct {
-	topics  []int32
-	counts  []int32
+	topics []int32
+	counts []int32
+	// weights are the alias weights the table was built from. They are
+	// kept (rather than recomputed from counts) because they bake in the
+	// ckDenom snapshot of the build moment, which a later checkpoint
+	// restore could not otherwise reproduce.
+	weights []float64
 	tab     alias.SparseTable
 	za      float64 // count-part mass
 	builtAt int64   // token clock at build time
@@ -96,7 +108,7 @@ func NewLightLDA(c *corpus.Corpus, cfg sampler.Config, opts LightLDAOptions) (*L
 		l.variantTag += "+SP"
 	}
 	for i := range l.words {
-		l.words[i].builtAt = -1 << 62
+		l.words[i].builtAt = neverBuilt
 	}
 	l.rebuildSmoothing()
 	return l, nil
@@ -104,6 +116,98 @@ func NewLightLDA(c *corpus.Corpus, cfg sampler.Config, opts LightLDAOptions) (*L
 
 // Name implements sampler.Sampler.
 func (l *LightLDA) Name() string { return l.variantTag }
+
+const lightLDAStateTag = "lite\x01"
+
+// StateTo implements sampler.Sampler. Beyond the base, LightLDA's stale
+// per-word proposal tables are genuine state: each is serialized as the
+// (topics, counts, weights, za, builtAt) it was built from, together
+// with the token clock that schedules rebuilds, so stock LightLDA's
+// refresh cadence survives a resume exactly. The smoothing table and
+// ckDenom snapshot are rebuilt at the top of every Iterate and need no
+// serialization.
+func (l *LightLDA) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(lightLDAStateTag)
+	l.encodeBase(e)
+	e.Int(int(l.clock))
+	for wid := 0; wid < l.c.V; wid++ {
+		wp := &l.words[wid]
+		if wp.builtAt == neverBuilt {
+			e.Int(0)
+			continue
+		}
+		e.Int(1)
+		e.I32s(wp.topics)
+		e.I32s(wp.counts)
+		e.F64s(wp.weights)
+		e.F64(wp.za)
+		e.Int(int(wp.builtAt))
+	}
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (l *LightLDA) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(lightLDAStateTag)
+	z, rngState := l.decodeBase(d)
+	clock := int64(d.Int())
+	words := make([]wordProp, l.c.V)
+	for wid := 0; wid < l.c.V && d.Err() == nil; wid++ {
+		wp := &words[wid]
+		wp.builtAt = neverBuilt
+		switch has := d.Int(); has {
+		case 0:
+		case 1:
+			wp.topics = d.I32s("word proposal topics")
+			wp.counts = d.I32sLen("word proposal counts", len(wp.topics))
+			wp.weights = d.F64s("word proposal weights")
+			wp.za = d.F64()
+			wp.builtAt = int64(d.Int())
+			d.CheckTopics("word proposal topics", wp.topics, l.k)
+			if d.Err() == nil && len(wp.weights) != len(wp.topics) {
+				d.Failf("baselines: word %d has %d weights for %d topics", wid, len(wp.weights), len(wp.topics))
+			}
+			// Proposal weights come from positive counts (optionally over a
+			// positive denominator): strictly positive, finite. za is their
+			// sum. Corrupt floats would skew every word-proposal draw and
+			// acceptance ratio without erroring.
+			for i, q := range wp.weights {
+				if !(q > 0) || math.IsInf(q, 0) {
+					d.Failf("baselines: corrupt proposal weight %g for word %d entry %d", q, wid, i)
+					break
+				}
+			}
+			if d.Err() == nil && (!(wp.za >= 0) || math.IsInf(wp.za, 0)) {
+				d.Failf("baselines: corrupt proposal mass %g for word %d", wp.za, wid)
+			}
+			// staleCw binary-searches the topic list; enforce its sort
+			// invariant rather than trusting the blob.
+			for i := 1; i < len(wp.topics) && d.Err() == nil; i++ {
+				if wp.topics[i] <= wp.topics[i-1] {
+					d.Failf("baselines: word %d stale topics not ascending", wid)
+				}
+			}
+		default:
+			d.Failf("baselines: corrupt word-proposal flag %d for word %d", has, wid)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	l.commitBase(z, rngState)
+	l.clock = clock
+	l.words = words
+	for wid := range l.words {
+		wp := &l.words[wid]
+		if wp.builtAt != neverBuilt && len(wp.topics) > 0 {
+			wp.tab.Build(wp.topics, wp.weights)
+		}
+	}
+	l.rebuildSmoothing()
+	return nil
+}
 
 // rebuildSmoothing refreshes the shared smoothing alias table and the
 // c_k denominator snapshot the stale proposals are built against.
@@ -137,7 +241,7 @@ func (l *LightLDA) rebuildWord(w int32) {
 		}
 	}
 	var za float64
-	weights := make([]float64, len(wp.topics))
+	wp.weights = wp.weights[:0]
 	for i, k := range wp.topics {
 		var q float64
 		if l.opts.SimpleProposal {
@@ -145,11 +249,11 @@ func (l *LightLDA) rebuildWord(w int32) {
 		} else {
 			q = float64(wp.counts[i]) / l.ckDenom[k]
 		}
-		weights[i] = q
+		wp.weights = append(wp.weights, q)
 		za += q
 	}
 	if len(wp.topics) > 0 {
-		wp.tab.Build(wp.topics, weights)
+		wp.tab.Build(wp.topics, wp.weights)
 	}
 	wp.za = za
 	wp.builtAt = l.clock

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"io"
+
 	"warplda/internal/corpus"
 	"warplda/internal/sampler"
 )
@@ -56,6 +58,53 @@ func NewSparseLDA(c *corpus.Corpus, cfg sampler.Config) (*SparseLDA, error) {
 
 // Name implements sampler.Sampler.
 func (s *SparseLDA) Name() string { return "SparseLDA" }
+
+const sparseLDAStateTag = "sprs\x01"
+
+// StateTo implements sampler.Sampler. Beyond the shared base, the
+// incrementally maintained non-zero topic lists are state: bucket
+// sampling scans them cumulatively, so their *order* (scrambled by
+// swap-remove over the run) matters for bit-identical resume. ssum is
+// rebuilt at the top of every Iterate and so is not serialized.
+func (s *SparseLDA) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(sparseLDAStateTag)
+	s.encodeBase(e)
+	e.I32Mat(s.docTopics)
+	e.I32Mat(s.wordTopics)
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (s *SparseLDA) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(sparseLDAStateTag)
+	z, rngState := s.decodeBase(d)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	// The topic lists are validated against counts recomputed from the
+	// *decoded* z, before anything is committed.
+	cd := make([]int32, len(s.cd))
+	cw := make([]int32, len(s.cw))
+	for di, doc := range s.c.Docs {
+		for n, w := range doc {
+			t := z[di][n]
+			cd[di*s.k+int(t)]++
+			cw[int(w)*s.k+int(t)]++
+		}
+	}
+	docTopics := decodeTopicLists(d, "doc topic lists", cd, s.c.NumDocs(), s.k)
+	wordTopics := decodeTopicLists(d, "word topic lists", cw, s.c.V, s.k)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.commitBase(z, rngState)
+	s.docTopics = docTopics
+	s.wordTopics = wordTopics
+	s.recomputeSSum()
+	return nil
+}
 
 func (s *SparseLDA) recomputeSSum() {
 	s.ssum = 0

@@ -95,6 +95,104 @@ func (s *state) add(d int, w, t int32) {
 // Assignments implements part of sampler.Sampler for all baselines.
 func (s *state) Assignments() [][]int32 { return s.z }
 
+// encodeBase writes the state every baseline shares: the corpus-shaped
+// assignment matrix and the RNG stream. The dense count matrices are
+// pure functions of z, so they are rebuilt on restore instead of being
+// serialized.
+func (s *state) encodeBase(e *sampler.Enc) {
+	e.Int(s.k)
+	e.I32Mat(s.z)
+	e.RNG(s.r)
+}
+
+// decodeBase reads and validates the shared state without committing
+// anything: the returned assignment matrix matches the corpus shape and
+// every topic lies in [0, K). Callers commit with commitBase after the
+// rest of their blob has validated too.
+func (s *state) decodeBase(d *sampler.Dec) (z [][]int32, rngState [4]uint64) {
+	if k := d.Int(); d.Err() == nil && k != s.k {
+		d.Failf("baselines: state saved with K=%d, sampler has K=%d", k, s.k)
+		return nil, rngState
+	}
+	z = d.I32Mat("assignments")
+	rngState = d.RNGState()
+	if d.Err() != nil {
+		return nil, rngState
+	}
+	if len(z) != len(s.c.Docs) {
+		d.Failf("baselines: state has %d documents, corpus has %d", len(z), len(s.c.Docs))
+		return nil, rngState
+	}
+	for di, doc := range s.c.Docs {
+		if len(z[di]) != len(doc) {
+			d.Failf("baselines: state document %d has %d tokens, corpus has %d", di, len(z[di]), len(doc))
+			return nil, rngState
+		}
+		d.CheckTopics("assignments", z[di], s.k)
+	}
+	return z, rngState
+}
+
+// commitBase installs a validated assignment matrix and RNG state and
+// rebuilds the dense count matrices from scratch.
+func (s *state) commitBase(z [][]int32, rngState [4]uint64) {
+	s.z = z
+	s.r.SetState(rngState)
+	clear(s.cd)
+	clear(s.cw)
+	clear(s.ck)
+	for di, doc := range s.c.Docs {
+		for n, w := range doc {
+			t := s.z[di][n]
+			s.cd[di*s.k+int(t)]++
+			s.cw[int(w)*s.k+int(t)]++
+			s.ck[t]++
+		}
+	}
+}
+
+// decodeTopicLists reads and validates a per-row non-zero topic list
+// collection (the incrementally maintained sparse views several
+// baselines keep): row counts come from counts (rows × k, row-major),
+// and each list must contain exactly that row's non-zero topics, in any
+// order — the order is part of the state, because bucket sampling scans
+// the list cumulatively. counts must already reflect the restored z.
+func decodeTopicLists(d *sampler.Dec, what string, counts []int32, rows, k int) [][]int32 {
+	lists := d.I32Mat(what)
+	if d.Err() != nil {
+		return nil
+	}
+	if len(lists) != rows {
+		d.Failf("baselines: %s has %d rows, want %d", what, len(lists), rows)
+		return nil
+	}
+	seen := make([]bool, k)
+	for ri, list := range lists {
+		row := counts[ri*k : (ri+1)*k]
+		nonzero := 0
+		for _, c := range row {
+			if c > 0 {
+				nonzero++
+			}
+		}
+		if len(list) != nonzero {
+			d.Failf("baselines: %s row %d has %d topics, counts have %d non-zero", what, ri, len(list), nonzero)
+			return nil
+		}
+		for _, t := range list {
+			if t < 0 || int(t) >= k || row[t] <= 0 || seen[t] {
+				d.Failf("baselines: %s row %d lists invalid or duplicate topic %d", what, ri, t)
+				return nil
+			}
+			seen[t] = true
+		}
+		for _, t := range list {
+			seen[t] = false
+		}
+	}
+	return lists
+}
+
 // checkConsistent recomputes all counts from z and panics on divergence.
 // Used by tests (and cheap enough to call there only).
 func (s *state) checkConsistent() error {

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -148,6 +149,36 @@ func (s *Sim) Name() string { return fmt.Sprintf("WarpLDA[%dworkers]", s.cfg.Wor
 
 // Assignments implements sampler.Sampler.
 func (s *Sim) Assignments() [][]int32 { return s.warp.Assignments() }
+
+const simStateTag = "sim \x01"
+
+// StateTo implements sampler.Sampler: the wrapped WarpLDA sampler's
+// state plus the accumulated modeled time, so a resumed simulation
+// continues both the chain and its cost accounting.
+func (s *Sim) StateTo(w io.Writer) error {
+	e := sampler.NewEnc(w)
+	e.Tag(simStateTag)
+	e.F64(s.modeledSeconds)
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return s.warp.StateTo(w)
+}
+
+// RestoreFrom implements sampler.Sampler.
+func (s *Sim) RestoreFrom(r io.Reader) error {
+	d := sampler.NewDec(r)
+	d.Tag(simStateTag)
+	modeled := d.F64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.warp.RestoreFrom(r); err != nil {
+		return err
+	}
+	s.modeledSeconds = modeled
+	return nil
+}
 
 // Iterate implements sampler.Sampler: it executes the real sampling
 // iteration, exchanges block descriptors between the worker goroutines

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"warplda/internal/alias"
@@ -372,6 +373,137 @@ func resetCounter(c tcount.Counter, k, l int) {
 
 // GlobalCounts returns a copy of the replicated ck vector.
 func (d *Distributed) GlobalCounts() []int32 { return append([]int32(nil), d.ck...) }
+
+const distStateTag = "dist\x01"
+
+// StateTo implements sampler.Sampler: each worker's token shard (cells
+// plus payloads, in shard order), the replicated global counts, and the
+// per-worker RNG streams. With one worker a restored sampler resumes
+// bit-identically; with several, the channel-interleaved block exchange
+// makes even an uninterrupted run's token ordering nondeterministic, so
+// resume is exact in distribution but not in bits — same as two
+// back-to-back runs of the live sampler.
+func (d *Distributed) StateTo(out io.Writer) error {
+	e := sampler.NewEnc(out)
+	e.Tag(distStateTag)
+	e.Int(d.p)
+	e.Int(d.cfg.M)
+	e.I32s(d.ck)
+	for _, wk := range d.workers {
+		e.RNG(wk.r)
+	}
+	// Each shard as three flat arrays (cells then payloads) rather than
+	// per-token slices: at millions of tokens, per-token framing would
+	// dominate both the allocation count and the file size.
+	var ds, ws, payload []int32
+	for _, shard := range d.byCol {
+		e.Int(len(shard))
+		ds, ws, payload = ds[:0], ws[:0], payload[:0]
+		for _, t := range shard {
+			ds = append(ds, t.D)
+			ws = append(ws, t.W)
+			payload = append(payload, t.Data...)
+		}
+		e.I32s(ds)
+		e.I32s(ws)
+		e.I32s(payload)
+	}
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler. The state must come from a
+// Distributed sampler with the same corpus, Config, and worker count.
+func (d *Distributed) RestoreFrom(in io.Reader) error {
+	dec := sampler.NewDec(in)
+	dec.Tag(distStateTag)
+	p := dec.Int()
+	m := dec.Int()
+	if dec.Err() == nil && p != d.p {
+		return fmt.Errorf("cluster: state has %d workers, sampler has %d", p, d.p)
+	}
+	if dec.Err() == nil && m != d.cfg.M {
+		return fmt.Errorf("cluster: state has M=%d, sampler has M=%d", m, d.cfg.M)
+	}
+	ck := dec.I32sLen("global counts", d.cfg.K)
+	rngs := make([][4]uint64, d.p)
+	for i := range rngs {
+		rngs[i] = dec.RNGState()
+	}
+	byCol := make([][]Token, d.p)
+	total := 0
+	stride := d.cfg.M + 1
+	for i := 0; i < d.p && dec.Err() == nil; i++ {
+		n := dec.Int()
+		if dec.Err() != nil {
+			break
+		}
+		if n < 0 || total+n > d.c.NumTokens() {
+			return fmt.Errorf("cluster: state shard %d has implausible %d tokens", i, n)
+		}
+		total += n
+		ds := dec.I32sLen("token docs", n)
+		ws := dec.I32sLen("token words", n)
+		payload := dec.I32sLen("token payloads", n*stride)
+		dec.CheckTopics("token payloads", payload, d.cfg.K)
+		if dec.Err() != nil {
+			break
+		}
+		shard := make([]Token, n)
+		for j := 0; j < n; j++ {
+			di, w := ds[j], ws[j]
+			if di < 0 || int(di) >= d.c.NumDocs() || w < 0 || int(w) >= d.c.V {
+				return fmt.Errorf("cluster: state token at cell (%d,%d) outside corpus", di, w)
+			}
+			if d.cols.Assign[w] != int32(i) {
+				return fmt.Errorf("cluster: state token of word %d in shard %d, owner is %d", w, i, d.cols.Assign[w])
+			}
+			shard[j] = Token{D: di, W: w, Data: payload[j*stride : (j+1)*stride : (j+1)*stride]}
+		}
+		byCol[i] = shard
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if total != d.c.NumTokens() {
+		return fmt.Errorf("cluster: state has %d tokens, corpus has %d", total, d.c.NumTokens())
+	}
+	// The state's (doc, word) multiset must be exactly the corpus —
+	// per-cell in-range checks and the total alone would still accept a
+	// blob that duplicates one cell's token and drops another's.
+	cells := make(map[int64]int32, total)
+	for di, doc := range d.c.Docs {
+		for _, w := range doc {
+			cells[int64(di)<<32|int64(uint32(w))]++
+		}
+	}
+	for _, shard := range byCol {
+		for _, t := range shard {
+			key := int64(t.D)<<32 | int64(uint32(t.W))
+			if cells[key] == 0 {
+				return fmt.Errorf("cluster: state has extra token at cell (%d,%d)", t.D, t.W)
+			}
+			cells[key]--
+		}
+	}
+	// ck must match the assignment histogram.
+	count := make([]int32, d.cfg.K)
+	for _, shard := range byCol {
+		for _, t := range shard {
+			count[t.Data[0]]++
+		}
+	}
+	for k := range count {
+		if count[k] != ck[k] {
+			return fmt.Errorf("cluster: state global counts disagree with assignments at topic %d", k)
+		}
+	}
+	d.byCol = byCol
+	copy(d.ck, ck)
+	for i, wk := range d.workers {
+		wk.r.SetState(rngs[i])
+	}
+	return nil
+}
 
 // Assignments implements sampler.Sampler. Tokens are scrambled across
 // shards, so assignments are regrouped per (doc, word) cell; within a

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"warplda/internal/alias"
@@ -594,6 +595,68 @@ func (w *Warp) Assignments() [][]int32 {
 // GlobalCounts returns a copy of the current frozen c_k vector.
 func (w *Warp) GlobalCounts() []int32 {
 	return append([]int32(nil), w.ck...)
+}
+
+// warpStateTag versions the serialized state layout of StateTo.
+const warpStateTag = "warp\x01"
+
+// StateTo implements sampler.Sampler: it serializes every token's
+// payload (assignment + M pending proposals), the frozen global count
+// vector, and each worker's RNG stream. Together with the corpus and
+// Config (which rebuild all derived structure deterministically) that
+// is the sampler's complete mutable state: a fresh Warp restored from
+// it continues the chain bit-identically.
+func (w *Warp) StateTo(out io.Writer) error {
+	e := sampler.NewEnc(out)
+	e.Tag(warpStateTag)
+	e.Int(len(w.workers))
+	e.I32s(w.m.Payloads())
+	e.I32s(w.ck)
+	for _, wk := range w.workers {
+		e.RNG(wk.r)
+	}
+	return e.Err()
+}
+
+// RestoreFrom implements sampler.Sampler. The state must come from a
+// Warp over the same corpus and Config (worker count included — the
+// RNG streams are per worker). Everything is decoded and validated
+// before any live state is replaced, so a corrupt snapshot leaves the
+// sampler untouched.
+func (w *Warp) RestoreFrom(in io.Reader) error {
+	d := sampler.NewDec(in)
+	d.Tag(warpStateTag)
+	workers := d.Int()
+	if d.Err() == nil && workers != len(w.workers) {
+		return fmt.Errorf("core: state has %d workers, sampler has %d (restore with the same Threads)", workers, len(w.workers))
+	}
+	payload := d.I32sLen("token payloads", len(w.m.Payloads()))
+	ck := d.I32sLen("global counts", w.cfg.K)
+	rngs := make([][4]uint64, len(w.workers))
+	for i := range rngs {
+		rngs[i] = d.RNGState()
+	}
+	d.CheckTopics("token payloads", payload, w.cfg.K)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// ck must be the topic histogram of the current assignments (payload
+	// slot 0 of every entry) — anything else is a corrupt or foreign state.
+	count := make([]int32, w.cfg.K)
+	for i := 0; i < len(payload); i += w.cfg.M + 1 {
+		count[payload[i]]++
+	}
+	for k := range count {
+		if count[k] != ck[k] {
+			return fmt.Errorf("core: state global counts disagree with assignments at topic %d (%d vs %d)", k, ck[k], count[k])
+		}
+	}
+	copy(w.m.Payloads(), payload)
+	copy(w.ck, ck)
+	for i, wk := range w.workers {
+		wk.r.SetState(rngs[i])
+	}
+	return nil
 }
 
 func max(a, b int) int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -463,5 +464,112 @@ func TestIntraWordParallelism(t *testing.T) {
 	}
 	if len(w2.heavyCols) != 0 {
 		t.Fatal("DisableIntraWord ignored")
+	}
+}
+
+// resumePair runs the checkpoint/resume contract for one configuration:
+// an uninterrupted 2n-iteration run against an n-iteration run whose
+// state is moved into a fresh sampler that runs the remaining n.
+func resumePair(t *testing.T, c *corpus.Corpus, cfg sampler.Config, n int) {
+	t.Helper()
+	mk := func() *Warp {
+		w, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	full, half, fresh := mk(), mk(), mk()
+	for i := 0; i < 2*n; i++ {
+		full.Iterate()
+	}
+	for i := 0; i < n; i++ {
+		half.Iterate()
+	}
+	var buf bytes.Buffer
+	if err := half.StateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.GlobalCounts(), half.GlobalCounts()) {
+		t.Fatal("global counts differ immediately after restore")
+	}
+	for i := 0; i < n; i++ {
+		fresh.Iterate()
+	}
+	if !reflect.DeepEqual(fresh.Assignments(), full.Assignments()) {
+		t.Fatal("resumed run diverged from uninterrupted run")
+	}
+	if !reflect.DeepEqual(fresh.GlobalCounts(), full.GlobalCounts()) {
+		t.Fatal("resumed global counts diverged")
+	}
+}
+
+func TestStateResumeBitIdenticalSerial(t *testing.T) {
+	resumePair(t, testCorpus(20), defaultCfg(8), 4)
+}
+
+func TestStateResumeBitIdenticalThreaded(t *testing.T) {
+	cfg := defaultCfg(8)
+	cfg.Threads = 3
+	resumePair(t, testCorpus(21), cfg, 4)
+}
+
+func TestStateResumeBitIdenticalAsymmetricAlpha(t *testing.T) {
+	cfg := defaultCfg(6)
+	alphas := make([]float64, cfg.K)
+	for k := range alphas {
+		alphas[k] = 0.05 * float64(k+1)
+	}
+	cfg.AlphaVec = alphas
+	resumePair(t, testCorpus(22), cfg, 3)
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	c := testCorpus(23)
+	cfg := defaultCfg(8)
+	donor, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.Iterate()
+	var buf bytes.Buffer
+	if err := donor.StateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	badCk := append([]byte(nil), blob...)
+	// Flip an assignment byte so ck no longer matches the histogram: the
+	// payload section starts right after tag(5) + workers(8) + len(8).
+	badCk[5+8+8] ^= 1
+
+	cases := []struct {
+		name string
+		blob []byte
+		cfg  sampler.Config
+	}{
+		{"truncated", blob[:len(blob)-9], cfg},
+		{"bad tag", append([]byte("xxxx\x01"), blob[5:]...), cfg},
+		{"count mismatch", badCk, cfg},
+		{"wrong K", blob, func() sampler.Config { c2 := cfg; c2.K = 9; return c2 }()},
+		{"wrong threads", blob, func() sampler.Config { c2 := cfg; c2.Threads = 4; return c2 }()},
+	}
+	for _, tc := range cases {
+		target, err := New(c, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sampler.CopyAssignments(target.Assignments())
+		if err := target.RestoreFrom(bytes.NewReader(tc.blob)); err == nil {
+			t.Errorf("%s: corrupt state accepted", tc.name)
+			continue
+		}
+		if !reflect.DeepEqual(before, target.Assignments()) {
+			t.Errorf("%s: failed restore mutated assignments", tc.name)
+		}
+		target.Iterate() // still usable
 	}
 }

@@ -1,0 +1,65 @@
+// Package fsio holds the small file-I/O primitives shared by every
+// durable format in this repository (model snapshots, training
+// checkpoints): atomic file replacement and checksum-on-read. They live
+// in one place so a durability fix lands everywhere at once instead of
+// drifting between per-format copies.
+package fsio
+
+import (
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file via temp-file + fsync + rename: a
+// process hot-watching path can never observe a partial write — it sees
+// the old complete file or the new complete file — and a crash
+// mid-write leaves the previous file intact. pattern names the temp
+// file (os.CreateTemp semantics; use a dot-prefix so watchers skip it).
+// write's byte count is returned on success.
+func AtomicWriteFile(path, pattern string, write func(io.Writer) (int64, error)) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), pattern)
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// CRCReader hashes exactly the bytes its consumer reads, so a trailing
+// checksum covers the payload regardless of any buffering underneath.
+type CRCReader struct {
+	R   io.Reader
+	CRC hash.Hash32
+}
+
+// NewCRCReader returns a CRCReader over r using CRC32 (IEEE), the
+// checksum every durable format here trails with.
+func NewCRCReader(r io.Reader) *CRCReader {
+	return &CRCReader{R: r, CRC: crc32.NewIEEE()}
+}
+
+func (c *CRCReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.CRC.Write(p[:n])
+	return n, err
+}
+
+// Sum32 returns the checksum of everything read so far.
+func (c *CRCReader) Sum32() uint32 { return c.CRC.Sum32() }

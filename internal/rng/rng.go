@@ -179,3 +179,23 @@ func (r *RNG) Dirichlet(alpha float64, out []float64) {
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
+
+// State returns the generator's four state words. Together with SetState
+// it lets long-running samplers checkpoint and resume their random
+// streams bit-identically: a generator restored from a saved state
+// produces exactly the draws the original would have produced next.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState restores the generator to a state captured by State. An
+// all-zero state is invalid for xoshiro256** (the generator would emit
+// only zeros forever), so it is replaced by Seed(0)'s state — which can
+// never be produced by State on a properly seeded generator.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0 {
+		r.Seed(0)
+		return
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}

@@ -7,6 +7,7 @@ package sampler
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"warplda/internal/corpus"
@@ -95,14 +96,32 @@ type Sampler interface {
 	// corpus.Docs. Implementations may return an internal buffer; callers
 	// must not mutate it and must copy if they need it across Iterate calls.
 	Assignments() [][]int32
+	// StateTo serializes the sampler's complete mutable state —
+	// assignments, pending proposals, derived caches, RNG streams — so
+	// that a sampler constructed over the same corpus and Config and
+	// restored with RestoreFrom continues the run exactly where this one
+	// stands. Must only be called between Iterate calls.
+	StateTo(w io.Writer) error
+	// RestoreFrom replaces the sampler's state with one written by
+	// StateTo on a sampler of the same algorithm, corpus, and Config.
+	// On error the sampler's prior state is left untouched (restores
+	// validate fully before committing anything).
+	RestoreFrom(r io.Reader) error
 }
 
 // Point is one evaluation of a training run.
 type Point struct {
-	Iter      int
-	Elapsed   time.Duration // cumulative sampling time, excluding evaluation
-	LogLik    float64
-	TokensSec float64 // mean throughput so far
+	Iter    int
+	Elapsed time.Duration // cumulative sampling time, excluding evaluation
+	LogLik  float64
+	// TokensSec is the mean throughput over the whole run so far
+	// (tokens·iterations / total sampling time).
+	TokensSec float64
+	// IntervalTokensSec is the instantaneous throughput since the
+	// previous evaluation point (or the run start). The cumulative mean
+	// above hides late-run slowdowns; convergence-versus-time plots that
+	// care about them should use this field.
+	IntervalTokensSec float64
 }
 
 // Run is the trace of a training run.
@@ -111,36 +130,114 @@ type Run struct {
 	Points  []Point
 }
 
-// Train runs iters iterations of s on c, evaluating the log joint
-// likelihood every evalEvery iterations (and after the last). Evaluation
-// time is excluded from Elapsed so convergence-by-time plots reflect
-// sampling cost only, as in the paper.
-func Train(s Sampler, c *corpus.Corpus, cfg Config, iters, evalEvery int) Run {
+// Loop is the resumable iterate/eval core shared by Train and the
+// internal/train orchestrator: it times iterations (excluding
+// evaluation cost, so convergence-by-time plots reflect sampling cost
+// only, as in the paper), evaluates the log joint likelihood on
+// schedule, and exposes its progress as plain fields a checkpoint can
+// serialize and SetProgress can restore.
+type Loop struct {
+	Sampler   Sampler
+	Corpus    *corpus.Corpus
+	Cfg       Config
+	EvalEvery int
+
+	// Iter is the number of completed iterations; Elapsed the cumulative
+	// sampling time; Trace the recorded evaluation points.
+	Iter    int
+	Elapsed time.Duration
+	Trace   Run
+
+	tokens          int
+	lastEvalIter    int
+	lastEvalElapsed time.Duration
+}
+
+// NewLoop builds a loop over s. evalEvery <= 0 means every iteration.
+func NewLoop(s Sampler, c *corpus.Corpus, cfg Config, evalEvery int) *Loop {
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
-	run := Run{Sampler: s.Name()}
-	tokens := c.NumTokens()
-	var elapsed time.Duration
-	for it := 1; it <= iters; it++ {
-		start := time.Now()
-		s.Iterate()
-		elapsed += time.Since(start)
-		if it%evalEvery == 0 || it == iters {
-			var ll float64
-			if cfg.AlphaVec != nil {
-				ll = eval.LogJointAsym(c, s.Assignments(), cfg.AlphaVec, cfg.Beta)
-			} else {
-				ll = eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
-			}
-			tps := 0.0
-			if sec := elapsed.Seconds(); sec > 0 {
-				tps = float64(tokens*it) / sec
-			}
-			run.Points = append(run.Points, Point{Iter: it, Elapsed: elapsed, LogLik: ll, TokensSec: tps})
-		}
+	return &Loop{
+		Sampler:   s,
+		Corpus:    c,
+		Cfg:       cfg,
+		EvalEvery: evalEvery,
+		Trace:     Run{Sampler: s.Name()},
+		tokens:    c.NumTokens(),
 	}
-	return run
+}
+
+// SetProgress primes the loop as if iter iterations had already run,
+// taking elapsed sampling time and the recorded trace from a
+// checkpoint. The evaluation schedule continues exactly as it would
+// have in the uninterrupted run.
+func (l *Loop) SetProgress(iter int, elapsed time.Duration, trace Run) {
+	l.Iter = iter
+	l.Elapsed = elapsed
+	l.Trace = trace
+	if l.Trace.Sampler == "" {
+		l.Trace.Sampler = l.Sampler.Name()
+	}
+	l.lastEvalIter = 0
+	l.lastEvalElapsed = 0
+	if n := len(trace.Points); n > 0 {
+		l.lastEvalIter = trace.Points[n-1].Iter
+		l.lastEvalElapsed = trace.Points[n-1].Elapsed
+	}
+}
+
+// Step runs one timed iteration.
+func (l *Loop) Step() {
+	start := time.Now()
+	l.Sampler.Iterate()
+	l.Elapsed += time.Since(start)
+	l.Iter++
+}
+
+// Eval records an evaluation point if one is due after the current
+// iteration — every EvalEvery iterations, plus (when final is true) the
+// run's last iteration. It returns the point and whether one was
+// recorded; an iteration already evaluated is never evaluated twice.
+func (l *Loop) Eval(final bool) (Point, bool) {
+	if l.Iter%l.EvalEvery != 0 && !final {
+		return Point{}, false
+	}
+	if l.Iter == l.lastEvalIter {
+		return Point{}, false
+	}
+	var ll float64
+	if l.Cfg.AlphaVec != nil {
+		ll = eval.LogJointAsym(l.Corpus, l.Sampler.Assignments(), l.Cfg.AlphaVec, l.Cfg.Beta)
+	} else {
+		ll = eval.LogJoint(l.Corpus, l.Sampler.Assignments(), l.Cfg.K, l.Cfg.Alpha, l.Cfg.Beta)
+	}
+	tps := 0.0
+	if sec := l.Elapsed.Seconds(); sec > 0 {
+		tps = float64(l.tokens*l.Iter) / sec
+	}
+	itps := 0.0
+	if sec := (l.Elapsed - l.lastEvalElapsed).Seconds(); sec > 0 {
+		itps = float64(l.tokens*(l.Iter-l.lastEvalIter)) / sec
+	}
+	p := Point{Iter: l.Iter, Elapsed: l.Elapsed, LogLik: ll, TokensSec: tps, IntervalTokensSec: itps}
+	l.Trace.Points = append(l.Trace.Points, p)
+	l.lastEvalIter = l.Iter
+	l.lastEvalElapsed = l.Elapsed
+	return p, true
+}
+
+// Train runs iters iterations of s on c, evaluating the log joint
+// likelihood every evalEvery iterations (and after the last). It is a
+// thin wrapper over Loop; checkpointed / budgeted / interruptible
+// training lives in the internal/train orchestrator.
+func Train(s Sampler, c *corpus.Corpus, cfg Config, iters, evalEvery int) Run {
+	l := NewLoop(s, c, cfg, evalEvery)
+	for l.Iter < iters {
+		l.Step()
+		l.Eval(l.Iter == iters)
+	}
+	return l.Trace
 }
 
 // Final returns the last recorded point of the run.

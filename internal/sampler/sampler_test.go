@@ -1,6 +1,8 @@
 package sampler
 
 import (
+	"bytes"
+	"io"
 	"testing"
 	"time"
 
@@ -44,6 +46,29 @@ func (f *fakeSampler) Iterate() {
 }
 
 func (f *fakeSampler) Assignments() [][]int32 { return f.z }
+
+func (f *fakeSampler) StateTo(w io.Writer) error {
+	e := NewEnc(w)
+	e.Tag("fake\x01")
+	e.Int(f.iters)
+	e.I32Mat(f.z)
+	return e.Err()
+}
+
+func (f *fakeSampler) RestoreFrom(r io.Reader) error {
+	d := NewDec(r)
+	d.Tag("fake\x01")
+	iters := d.Int()
+	z := d.I32Mat("z")
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.iters = iters
+	f.z = z
+	return nil
+}
+
+var _ Sampler = (*fakeSampler)(nil)
 
 func fakeCorpus() *corpus.Corpus {
 	c := &corpus.Corpus{V: 4, Docs: make([][]int32, 8)}
@@ -153,6 +178,158 @@ func TestCopyAssignments(t *testing.T) {
 	if len(cp) != 2 || len(cp[1]) != 1 || cp[1][0] != 3 {
 		t.Fatalf("bad copy %v", cp)
 	}
+}
+
+func TestLoopResumeMatchesUninterrupted(t *testing.T) {
+	c := fakeCorpus()
+	cfg := PaperDefaults(2)
+
+	full := Train(newFake(c), c, cfg, 10, 3)
+
+	// Interrupted run: 5 iterations, snapshot, restore into a fresh
+	// sampler, resume the loop for the remaining 5.
+	half := NewLoop(newFake(c), c, cfg, 3)
+	for half.Iter < 5 {
+		half.Step()
+		half.Eval(false)
+	}
+	var buf bytes.Buffer
+	if err := half.Sampler.StateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newFake(c)
+	if err := fresh.RestoreFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewLoop(fresh, c, cfg, 3)
+	resumed.SetProgress(half.Iter, half.Elapsed, half.Trace)
+	for resumed.Iter < 10 {
+		resumed.Step()
+		resumed.Eval(resumed.Iter == 10)
+	}
+
+	if len(resumed.Trace.Points) != len(full.Points) {
+		t.Fatalf("resumed trace has %d points, want %d", len(resumed.Trace.Points), len(full.Points))
+	}
+	for i, p := range resumed.Trace.Points {
+		if p.Iter != full.Points[i].Iter || p.LogLik != full.Points[i].LogLik {
+			t.Fatalf("point %d: (iter %d, ll %v), want (iter %d, ll %v)",
+				i, p.Iter, p.LogLik, full.Points[i].Iter, full.Points[i].LogLik)
+		}
+	}
+}
+
+func TestLoopEvalNeverDuplicates(t *testing.T) {
+	c := fakeCorpus()
+	l := NewLoop(newFake(c), c, PaperDefaults(2), 2)
+	l.Step()
+	l.Step()
+	if _, ok := l.Eval(false); !ok {
+		t.Fatal("eval due at iter 2 not recorded")
+	}
+	// Final flag on an already-evaluated iteration must not duplicate.
+	if _, ok := l.Eval(true); ok {
+		t.Fatal("iteration evaluated twice")
+	}
+	if len(l.Trace.Points) != 1 {
+		t.Fatalf("trace has %d points, want 1", len(l.Trace.Points))
+	}
+}
+
+func TestIntervalThroughputRecorded(t *testing.T) {
+	c := fakeCorpus()
+	run := Train(newFake(c), c, PaperDefaults(2), 6, 3)
+	for i, p := range run.Points {
+		if p.TokensSec <= 0 || p.IntervalTokensSec <= 0 {
+			t.Fatalf("point %d: TokensSec %g IntervalTokensSec %g, want both > 0",
+				i, p.TokensSec, p.IntervalTokensSec)
+		}
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEnc(&buf)
+	e.Tag("test\x01")
+	e.Int(42)
+	e.U64(7)
+	e.F64(3.5)
+	e.I32s([]int32{1, 2, 3})
+	e.F64s([]float64{0.5, -1})
+	e.F32s([]float32{2.25})
+	e.I32Mat([][]int32{{9}, nil, {8, 7}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDec(&buf)
+	d.Tag("test\x01")
+	if got := d.Int(); got != 42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.U64(); got != 7 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Fatalf("F64 = %g", got)
+	}
+	if got := d.I32sLen("a", 3); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("I32sLen = %v", got)
+	}
+	if got := d.F64s("b"); len(got) != 2 || got[1] != -1 {
+		t.Fatalf("F64s = %v", got)
+	}
+	if got := d.F32sLen("c", 1); len(got) != 1 || got[0] != 2.25 {
+		t.Fatalf("F32sLen = %v", got)
+	}
+	if got := d.I32Mat("d"); len(got) != 3 || len(got[2]) != 2 || got[2][1] != 7 {
+		t.Fatalf("I32Mat = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateCodecRejectsCorruption(t *testing.T) {
+	encode := func() []byte {
+		var buf bytes.Buffer
+		e := NewEnc(&buf)
+		e.Tag("test\x01")
+		e.I32s([]int32{1, 2, 3})
+		return buf.Bytes()
+	}
+	t.Run("wrong tag", func(t *testing.T) {
+		d := NewDec(bytes.NewReader(encode()))
+		d.Tag("oops\x01")
+		if d.Err() == nil {
+			t.Fatal("wrong tag accepted")
+		}
+	})
+	t.Run("wrong length", func(t *testing.T) {
+		d := NewDec(bytes.NewReader(encode()))
+		d.Tag("test\x01")
+		d.I32sLen("z", 4)
+		if d.Err() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		b := encode()
+		d := NewDec(bytes.NewReader(b[:len(b)-2]))
+		d.Tag("test\x01")
+		d.I32sLen("z", 3)
+		if d.Err() == nil {
+			t.Fatal("truncated stream accepted")
+		}
+	})
+	t.Run("topic range", func(t *testing.T) {
+		d := NewDec(bytes.NewReader(encode()))
+		d.Tag("test\x01")
+		z := d.I32sLen("z", 3)
+		d.CheckTopics("z", z, 3)
+		if d.Err() == nil {
+			t.Fatal("out-of-range topic accepted")
+		}
+	})
 }
 
 func TestTrainImprovesOnFake(t *testing.T) {

@@ -173,6 +173,14 @@ func (b *Builder) freeze(sortRows bool) *Matrix {
 // NNZ returns the number of entries.
 func (m *Matrix) NNZ() int { return len(m.rowID) }
 
+// Payloads returns the backing payload array — NNZ()*Stride int32
+// values in CSC entry order, the same storage the row and column views
+// expose entry by entry. It exists for bulk state snapshot/restore:
+// copying it out captures every entry's payload, and writing the same
+// bytes back restores them, without touching the (immutable) structure
+// arrays. Callers must not resize it.
+func (m *Matrix) Payloads() []int32 { return m.data }
+
 // ColView is the contiguous slice of a column's entries.
 type ColView struct {
 	m     *Matrix

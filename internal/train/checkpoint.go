@@ -1,0 +1,345 @@
+// Checkpoint file format. A checkpoint is everything a crashed or
+// killed training run needs to continue as if nothing happened: the
+// sampler's identity and configuration, the loop progress (iteration
+// counter, elapsed sampling time, convergence trace), a fingerprint of
+// the corpus it was training on, and the sampler's complete serialized
+// state (assignments, pending proposals, caches, RNG streams).
+//
+// The on-disk layout mirrors the model snapshot format (model_io.go):
+// a versioned magic, a little-endian body, and a CRC32 (IEEE) trailer
+// over every body byte after the magic. Files land via temp file +
+// fsync + atomic rename, so a run killed mid-checkpoint leaves the
+// previous checkpoint intact and a torn write can never be resumed
+// from — it fails the checksum instead.
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"warplda/internal/corpus"
+	"warplda/internal/fsio"
+	"warplda/internal/sampler"
+)
+
+const (
+	// ckptMagic versions the checkpoint layout; bumped on incompatible
+	// changes.
+	ckptMagic = "WARPCKPT\x01"
+	// DefaultFileName is the checkpoint file written inside a checkpoint
+	// directory. A single name (plus the atomic rename) means a run
+	// always resumes from the newest complete checkpoint and disk usage
+	// stays bounded at one snapshot.
+	DefaultFileName = "checkpoint.ckpt"
+
+	// maxTracePoints and maxTopics bound allocations driven by decoded
+	// length fields that the CRC trailer has not yet vouched for (the
+	// trailer is only checked after the body is read). Both are far
+	// beyond any real run — the paper's largest K is 10^6 — while
+	// keeping the worst-case corrupt-file allocation small.
+	maxTracePoints = 1 << 20
+	maxTopics      = 1 << 22
+)
+
+// Checkpoint is a resumable training snapshot.
+type Checkpoint struct {
+	// Sampler is the algorithm name (sampler.Sampler.Name) the state
+	// belongs to; resuming into a different algorithm is refused.
+	Sampler string
+	// Cfg is the full sampler configuration of the run.
+	Cfg sampler.Config
+	// Iter is the number of completed iterations; Elapsed the cumulative
+	// sampling time; Trace the evaluation points recorded so far.
+	Iter    int
+	Elapsed time.Duration
+	Trace   sampler.Run
+	// Fingerprint identifies the corpus (see CorpusFingerprint); a
+	// checkpoint resumed against a different corpus is refused.
+	Fingerprint uint32
+	// State is the sampler's opaque serialized state (StateTo output).
+	State []byte
+}
+
+// CorpusFingerprint hashes the corpus identity a checkpoint is bound
+// to: dimensions, document lengths, and every token, so resuming
+// against a reordered, truncated, or simply different corpus is caught
+// before any state is restored. O(tokens); callers checkpointing
+// repeatedly should compute it once.
+func CorpusFingerprint(c *corpus.Corpus) uint32 {
+	crc := crc32.NewIEEE()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		crc.Write(buf[:])
+	}
+	put(int64(c.V))
+	put(int64(len(c.Docs)))
+	for _, doc := range c.Docs {
+		put(int64(len(doc)))
+		for _, w := range doc {
+			put(int64(w))
+		}
+	}
+	return crc.Sum32()
+}
+
+// writeTo serializes the checkpoint envelope — magic, header, then the
+// sampler state emitted by state directly into the checksummed stream,
+// then the CRC32 trailer. The state is the last body section and
+// carries no length prefix (it runs to the trailer), precisely so it
+// can be *streamed*: a periodic checkpoint of a billion-token sampler
+// must not buffer a second copy of its state in memory.
+func (ck *Checkpoint) writeTo(w io.Writer, state func(io.Writer) error) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return 0, err
+	}
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(bw, crc)}
+	e := sampler.NewEnc(cw)
+	e.Str(ck.Sampler)
+	encodeConfig(e, ck.Cfg)
+	e.Int(ck.Iter)
+	e.Int(int(ck.Elapsed))
+	e.Str(ck.Trace.Sampler)
+	e.Int(len(ck.Trace.Points))
+	for _, p := range ck.Trace.Points {
+		e.Int(p.Iter)
+		e.Int(int(p.Elapsed))
+		e.F64(p.LogLik)
+		e.F64(p.TokensSec)
+		e.F64(p.IntervalTokensSec)
+	}
+	e.U64(uint64(ck.Fingerprint))
+	if err := e.Err(); err != nil {
+		return int64(len(ckptMagic)) + cw.n, err
+	}
+	if err := state(cw); err != nil {
+		return int64(len(ckptMagic)) + cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return int64(len(ckptMagic)) + cw.n, err
+	}
+	return int64(len(ckptMagic)) + cw.n + 4, bw.Flush()
+}
+
+// WriteTo serializes the checkpoint with its in-memory State blob.
+func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	return ck.writeTo(w, func(sw io.Writer) error {
+		_, err := sw.Write(ck.State)
+		return err
+	})
+}
+
+// WriteFile writes the checkpoint to path atomically (temp file in the
+// target directory, fsync, rename) so an interrupted write can never
+// clobber the previous good checkpoint.
+func (ck *Checkpoint) WriteFile(path string) (int64, error) {
+	return fsio.AtomicWriteFile(path, ".warplda-ckpt-*", ck.WriteTo)
+}
+
+// writeFileStreaming is WriteFile with the sampler state streamed by
+// state instead of materialized in ck.State — the trainer's hot path.
+func (ck *Checkpoint) writeFileStreaming(path string, state func(io.Writer) error) (int64, error) {
+	return fsio.AtomicWriteFile(path, ".warplda-ckpt-*", func(w io.Writer) (int64, error) {
+		return ck.writeTo(w, state)
+	})
+}
+
+// Read deserializes a checkpoint, verifying the CRC32 trailer before
+// returning: a torn or bit-rotted file is an error, never a resumable
+// state.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("train: reading checkpoint header: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("train: not a checkpoint file (bad magic)")
+	}
+	cr := fsio.NewCRCReader(br)
+	d := sampler.NewDec(cr)
+	ck := &Checkpoint{}
+	ck.Sampler = d.Str("sampler name", 1<<10)
+	ck.Cfg = decodeConfig(d)
+	ck.Iter = d.Int()
+	ck.Elapsed = time.Duration(d.Int())
+	ck.Trace.Sampler = d.Str("trace sampler name", 1<<10)
+	nPoints := d.Int()
+	// ck.Iter is itself untrusted until the CRC verifies, so the
+	// allocation bound must be a constant: a corrupt count fails here
+	// instead of OOM-ing on make(). Consistency with Iter is re-checked
+	// post-CRC in validateCheckpoint.
+	if d.Err() == nil && (nPoints < 0 || nPoints > maxTracePoints) {
+		return nil, fmt.Errorf("train: corrupt checkpoint: implausible trace length %d", nPoints)
+	}
+	if d.Err() == nil {
+		ck.Trace.Points = make([]sampler.Point, nPoints)
+		for i := range ck.Trace.Points {
+			p := &ck.Trace.Points[i]
+			p.Iter = d.Int()
+			p.Elapsed = time.Duration(d.Int())
+			p.LogLik = d.F64()
+			p.TokensSec = d.F64()
+			p.IntervalTokensSec = d.F64()
+		}
+	}
+	ck.Fingerprint = uint32(d.U64())
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("train: corrupt checkpoint: %w", err)
+	}
+	// The sampler state is the rest of the body, up to the 4-byte CRC
+	// trailer. It has no length prefix (the writer streams it), and
+	// io.ReadAll grows with the data actually present, so a truncated
+	// file costs only what it holds. Read from the plain reader — the
+	// trailer must not be hashed — and feed the CRC afterwards.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("train: reading checkpoint state: %w", err)
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("train: corrupt checkpoint: truncated before checksum trailer")
+	}
+	ck.State = rest[:len(rest)-4]
+	cr.CRC.Write(ck.State)
+	want := binary.LittleEndian.Uint32(rest[len(rest)-4:])
+	if got := cr.Sum32(); got != want {
+		return nil, fmt.Errorf("train: checkpoint checksum mismatch (file %08x, computed %08x): torn or corrupt file", want, got)
+	}
+	if err := validateCheckpoint(ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// Load reads a checkpoint from path. A directory is accepted and means
+// its DefaultFileName — the inverse of how the trainer writes.
+func Load(path string) (*Checkpoint, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, DefaultFileName)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// Verify checks that the checkpoint belongs to this (sampler, corpus
+// fingerprint, config) triple. It is the gate train.Run applies before
+// restoring any state.
+func (ck *Checkpoint) Verify(samplerName string, fingerprint uint32, cfg sampler.Config) error {
+	if ck.Sampler != samplerName {
+		return fmt.Errorf("train: checkpoint was written by sampler %q, resuming %q", ck.Sampler, samplerName)
+	}
+	if ck.Fingerprint != fingerprint {
+		return fmt.Errorf("train: checkpoint corpus fingerprint %08x does not match training corpus %08x", ck.Fingerprint, fingerprint)
+	}
+	if !configsEqual(ck.Cfg, cfg) {
+		return fmt.Errorf("train: checkpoint config %+v does not match run config %+v", ck.Cfg, cfg)
+	}
+	return nil
+}
+
+// validateCheckpoint sanity-checks the decoded fields beyond what the
+// CRC can know (the CRC only proves the bytes are what was written).
+func validateCheckpoint(ck *Checkpoint) error {
+	if ck.Iter < 0 {
+		return fmt.Errorf("train: corrupt checkpoint: negative iteration %d", ck.Iter)
+	}
+	if ck.Elapsed < 0 {
+		return fmt.Errorf("train: corrupt checkpoint: negative elapsed time %v", ck.Elapsed)
+	}
+	if err := ck.Cfg.Validate(); err != nil {
+		return fmt.Errorf("train: corrupt checkpoint: %w", err)
+	}
+	last := 0
+	for _, p := range ck.Trace.Points {
+		if p.Iter <= last || p.Iter > ck.Iter || math.IsNaN(p.LogLik) {
+			return fmt.Errorf("train: corrupt checkpoint: bad trace point %+v", p)
+		}
+		last = p.Iter
+	}
+	return nil
+}
+
+func encodeConfig(e *sampler.Enc, cfg sampler.Config) {
+	e.Int(cfg.K)
+	e.F64(cfg.Alpha)
+	e.F64(cfg.Beta)
+	e.Int(cfg.M)
+	e.U64(cfg.Seed)
+	e.Int(cfg.Threads)
+	if cfg.AlphaVec == nil {
+		e.Int(0)
+	} else {
+		e.Int(1)
+		e.F64s(cfg.AlphaVec)
+	}
+}
+
+func decodeConfig(d *sampler.Dec) sampler.Config {
+	var cfg sampler.Config
+	cfg.K = d.Int()
+	cfg.Alpha = d.F64()
+	cfg.Beta = d.F64()
+	cfg.M = d.Int()
+	cfg.Seed = d.U64()
+	cfg.Threads = d.Int()
+	switch has := d.Int(); has {
+	case 0:
+	case 1:
+		// len(AlphaVec) must equal K, so bound-check K before letting it
+		// size an allocation.
+		if cfg.K <= 0 || cfg.K > maxTopics {
+			d.Failf("train: corrupt checkpoint: alpha vector for implausible K=%d", cfg.K)
+			break
+		}
+		cfg.AlphaVec = d.F64sLen("alpha vector", cfg.K)
+	default:
+		d.Failf("train: corrupt alpha-vector flag %d", has)
+	}
+	return cfg
+}
+
+// configsEqual compares two configs field by field (AlphaVec by value).
+func configsEqual(a, b sampler.Config) bool {
+	if a.K != b.K || a.Alpha != b.Alpha || a.Beta != b.Beta ||
+		a.M != b.M || a.Seed != b.Seed || a.Threads != b.Threads {
+		return false
+	}
+	if len(a.AlphaVec) != len(b.AlphaVec) || (a.AlphaVec == nil) != (b.AlphaVec == nil) {
+		return false
+	}
+	for i := range a.AlphaVec {
+		if a.AlphaVec[i] != b.AlphaVec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countWriter counts bytes for WriteTo's return value.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

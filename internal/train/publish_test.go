@@ -1,0 +1,116 @@
+package train_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"warplda"
+	"warplda/internal/registry"
+	"warplda/internal/train"
+)
+
+// TestPublishNamesMatchRegistry keeps PublishPath's name rule in sync
+// with the registry's, behaviorally: every name PublishPath accepts
+// must actually be servable, and names the registry refuses must be
+// rejected at publish time.
+func TestPublishNamesMatchRegistry(t *testing.T) {
+	c := testCorpus(31)
+	cfg := testCfg(4)
+	s := newWarp(t, c, cfg)
+	s.Iterate()
+	model := warplda.Snapshot(c, s, cfg)
+
+	for _, name := range []string{"news", "News-1.a", "a", "k100_nytimes"} {
+		dir := t.TempDir()
+		path, got, err := train.PublishPath(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("PublishPath accepts registry-servable name %q? %v", name, err)
+		}
+		if got != name {
+			t.Fatalf("PublishPath(%q) name = %q", name, got)
+		}
+		if _, err := model.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		reg, err := registry.Open(dir, registry.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Acquire(name); err != nil {
+			t.Errorf("PublishPath accepted %q but the registry refuses it: %v", name, err)
+		}
+		reg.Close()
+	}
+	for _, name := range []string{"_nightly", ".hidden", "-dash", "über", "a b"} {
+		if _, _, err := train.PublishPath("models/" + name); err == nil {
+			t.Errorf("PublishPath accepted %q, which the registry will never serve", name)
+		}
+	}
+}
+
+// TestPublishServesWithoutRestart walks the whole pipeline the PR
+// closes: train (with a checkpoint interruption in the middle), publish
+// the final model into a serving model directory, and have an
+// already-open PR-2 registry pick it up and serve inference — no
+// restart.
+func TestPublishServesWithoutRestart(t *testing.T) {
+	c := testCorpus(30)
+	cfg := testCfg(8)
+
+	// Train 4 iterations, "crash", resume to 8 — the published model
+	// must come out of the resumed run.
+	ckDir := t.TempDir()
+	if _, err := train.Run(newWarp(t, c, cfg), c, cfg, train.Options{
+		Iters: 4, EvalEvery: 2, CheckpointDir: ckDir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := train.Load(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newWarp(t, c, cfg)
+	if _, err := train.Run(s, c, cfg, train.Options{Iters: 8, EvalEvery: 2, ResumeFrom: ck}); err != nil {
+		t.Fatal(err)
+	}
+	model := warplda.Snapshot(c, s, cfg)
+
+	// The serving side is already up, watching an (empty) model dir.
+	modelDir := t.TempDir()
+	reg, err := registry.Open(modelDir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Acquire("news"); err == nil {
+		t.Fatal("unpublished model served")
+	}
+
+	path, name, err := train.PublishPath(modelDir + "/news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := reg.Acquire(name)
+	if err != nil {
+		t.Fatalf("published model not served: %v", err)
+	}
+	if snap.Model.Cfg.K != cfg.K || snap.Model.V != c.V {
+		t.Fatalf("served model has K=%d V=%d, want K=%d V=%d", snap.Model.Cfg.K, snap.Model.V, cfg.K, c.V)
+	}
+	theta, err := snap.Engine.Infer(c.Docs[0], 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range theta {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("served inference returned non-distribution (sum %g)", sum)
+	}
+}

@@ -1,0 +1,236 @@
+// Package train orchestrates long training runs. It owns the
+// iterate/eval loop (sampler.Loop is the shared core; sampler.Train is
+// the fire-and-forget thin wrapper), and adds what a multi-hour
+// production job needs on top of it:
+//
+//   - periodic checkpoints — CRC-trailed, atomically renamed snapshots
+//     of the sampler's complete state, so a crashed or killed run
+//     resumes bit-identically to one that was never interrupted;
+//   - cooperative interruption — a Stop channel (wired to SIGINT /
+//     SIGTERM by cmd/warplda-train) that finishes the current
+//     iteration, checkpoints, and returns instead of dying mid-pass;
+//   - an optional wall-clock budget on sampling time;
+//   - progress callbacks for operational observability.
+package train
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"warplda/internal/corpus"
+	"warplda/internal/sampler"
+)
+
+// Options configures a training run. Iters is required; everything
+// else is optional.
+type Options struct {
+	// Iters is the target number of completed iterations (counted from
+	// the start of the run, including any iterations a resumed
+	// checkpoint already completed).
+	Iters int
+	// EvalEvery is the log-likelihood evaluation interval in iterations;
+	// <= 0 means every iteration. The final iteration is always
+	// evaluated.
+	EvalEvery int
+	// CheckpointDir, when non-empty, is the directory that receives
+	// checkpoint snapshots (as DefaultFileName, atomically replaced).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in iterations. <= 0
+	// with a CheckpointDir means checkpoints are written only at
+	// interruption, budget exhaustion, and completion.
+	CheckpointEvery int
+	// Budget, when > 0, bounds cumulative *sampling* time: the run stops
+	// (and checkpoints) after the first iteration that crosses it.
+	// Evaluation time is excluded, matching the trace's Elapsed.
+	Budget time.Duration
+	// Stop requests cooperative interruption: after it is closed (or
+	// receives a value) the current iteration finishes, a checkpoint is
+	// written, and Run returns with Interrupted set.
+	Stop <-chan struct{}
+	// Progress, when non-nil, is called after every iteration with the
+	// loop position, the evaluation point if one was recorded, and the
+	// checkpoint path if one was written.
+	Progress func(Event)
+	// ResumeFrom, when non-nil, is a checkpoint to continue from. It
+	// must match the sampler's algorithm, the corpus, and cfg exactly
+	// (Checkpoint.Verify); the sampler's state is replaced before the
+	// first iteration.
+	ResumeFrom *Checkpoint
+}
+
+// Event is one Progress callback's payload.
+type Event struct {
+	// Iter is the just-completed iteration; Iters the run target.
+	Iter, Iters int
+	// Eval is the evaluation recorded after this iteration, if any.
+	Eval *sampler.Point
+	// Checkpoint is the path of the checkpoint written after this
+	// iteration, if any.
+	Checkpoint string
+}
+
+// Result describes how a run ended.
+type Result struct {
+	// Run is the convergence trace (including points restored from a
+	// resumed checkpoint, so an interrupted + resumed run's final trace
+	// equals the uninterrupted run's).
+	Run sampler.Run
+	// Iter is the number of completed iterations.
+	Iter int
+	// Completed reports whether the Iters target was reached.
+	Completed bool
+	// Interrupted reports a cooperative stop via Options.Stop;
+	// OverBudget a stop via Options.Budget.
+	Interrupted bool
+	OverBudget  bool
+	// CheckpointPath is the last checkpoint written, if any.
+	CheckpointPath string
+}
+
+// Run trains s on c until opts.Iters iterations complete, the budget is
+// exhausted, or a stop is requested — checkpointing along the way when
+// configured. The returned Result is valid (trace so far, stop reason)
+// for every non-error return.
+func Run(s sampler.Sampler, c *corpus.Corpus, cfg sampler.Config, opts Options) (Result, error) {
+	if opts.Iters <= 0 {
+		return Result{}, fmt.Errorf("train: Iters = %d, want > 0", opts.Iters)
+	}
+	loop := sampler.NewLoop(s, c, cfg, opts.EvalEvery)
+	fingerprint := CorpusFingerprint(c)
+
+	if ck := opts.ResumeFrom; ck != nil {
+		if err := ck.Verify(s.Name(), fingerprint, cfg); err != nil {
+			return Result{}, err
+		}
+		if ck.Iter > opts.Iters {
+			return Result{}, fmt.Errorf("train: checkpoint is at iteration %d, past the %d-iteration target", ck.Iter, opts.Iters)
+		}
+		if err := s.RestoreFrom(bytes.NewReader(ck.State)); err != nil {
+			return Result{}, fmt.Errorf("train: restoring sampler state: %w", err)
+		}
+		loop.SetProgress(ck.Iter, ck.Elapsed, ck.Trace)
+	}
+
+	stopped := func() bool {
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	res := Result{}
+	save := func() (string, error) {
+		if opts.CheckpointDir == "" {
+			return "", nil
+		}
+		path, err := writeCheckpoint(loop, fingerprint, opts.CheckpointDir)
+		if err != nil {
+			res.Run, res.Iter = loop.Trace, loop.Iter
+			return "", fmt.Errorf("train: writing checkpoint at iteration %d: %w", loop.Iter, err)
+		}
+		res.CheckpointPath = path
+		return path, nil
+	}
+	for loop.Iter < opts.Iters {
+		// A stop that lands outside Step (during eval, checkpoint I/O, or
+		// a progress callback) is noticed here: checkpoint what we have
+		// and leave without starting another iteration.
+		if stopped() {
+			res.Interrupted = true
+			if loop.Iter > 0 {
+				if _, err := save(); err != nil {
+					return res, err
+				}
+			}
+			break
+		}
+		loop.Step()
+		final := loop.Iter == opts.Iters
+
+		var ev Event
+		ev.Iter, ev.Iters = loop.Iter, opts.Iters
+		if p, ok := loop.Eval(final); ok {
+			ev.Eval = &p
+		}
+
+		if stopped() {
+			res.Interrupted = true
+		}
+		if opts.Budget > 0 && loop.Elapsed >= opts.Budget {
+			res.OverBudget = true
+		}
+		periodic := opts.CheckpointEvery > 0 && loop.Iter%opts.CheckpointEvery == 0
+		if periodic || final || res.Interrupted || res.OverBudget {
+			path, err := save()
+			if err != nil {
+				return res, err
+			}
+			ev.Checkpoint = path
+		}
+		if opts.Progress != nil {
+			opts.Progress(ev)
+		}
+		if res.Interrupted || res.OverBudget {
+			break
+		}
+	}
+	res.Run = loop.Trace
+	res.Iter = loop.Iter
+	res.Completed = loop.Iter >= opts.Iters
+	if res.Completed {
+		res.Interrupted, res.OverBudget = false, false
+	}
+	return res, nil
+}
+
+// writeCheckpoint snapshots the loop into CheckpointDir, streaming the
+// sampler state straight into the (checksummed, atomically renamed)
+// file — checkpointing costs O(1) extra memory regardless of state
+// size.
+func writeCheckpoint(loop *sampler.Loop, fingerprint uint32, dir string) (string, error) {
+	ck := &Checkpoint{
+		Sampler:     loop.Sampler.Name(),
+		Cfg:         loop.Cfg,
+		Iter:        loop.Iter,
+		Elapsed:     loop.Elapsed,
+		Trace:       loop.Trace,
+		Fingerprint: fingerprint,
+	}
+	path := filepath.Join(dir, DefaultFileName)
+	if _, err := ck.writeFileStreaming(path, loop.Sampler.StateTo); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// publishNameRE is the set of model names the serving registry agrees
+// to load (internal/registry's nameRE; kept in sync by
+// TestPublishNamesMatchRegistry). Publishing a name the registry would
+// 404 on forever must fail here, at train time, not in production.
+var publishNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// PublishPath resolves the -publish flag's "<dir>/<name>" spec to the
+// model file path the serving registry loads for model <name>: the
+// registry maps a model name to <dir>/<name>.bin (or a <name>/model.bin
+// subdirectory; the flat file is what publishing writes). The spec's
+// final element must be a bare model name the registry will accept — no
+// path separators, no .bin suffix of its own, and within the registry's
+// name alphabet.
+func PublishPath(spec string) (path, name string, err error) {
+	dir, name := filepath.Split(filepath.Clean(spec))
+	if dir == "" || name == "" || name == "." || name == ".." {
+		return "", "", fmt.Errorf("train: -publish wants <model-dir>/<model-name>, got %q", spec)
+	}
+	if filepath.Ext(name) == ".bin" {
+		return "", "", fmt.Errorf("train: -publish takes a model name, not a file name (drop the .bin from %q)", spec)
+	}
+	if !publishNameRE.MatchString(name) {
+		return "", "", fmt.Errorf("train: -publish name %q is not servable (want %s)", name, publishNameRE)
+	}
+	return filepath.Join(dir, name+".bin"), name, nil
+}

@@ -4,12 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash"
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
+
+	"warplda/internal/fsio"
 )
 
 // Model file format magics. The version byte is bumped on incompatible
@@ -94,39 +93,7 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 // observe a partial write — it sees the old complete file or the new
 // complete file, and anything else fails the format's checksum.
 func (m *Model) WriteFile(path string) (int64, error) {
-	f, err := os.CreateTemp(filepath.Dir(path), ".warplda-model-*")
-	if err != nil {
-		return 0, err
-	}
-	tmp := f.Name()
-	n, err := m.WriteTo(f)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	return n, nil
-}
-
-// crcReader hashes exactly the bytes its consumer reads, so the
-// checksum covers the payload regardless of any buffering underneath.
-type crcReader struct {
-	r   io.Reader
-	crc hash.Hash32
-}
-
-func (c *crcReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.crc.Write(p[:n])
-	return n, err
+	return fsio.AtomicWriteFile(path, ".warplda-model-*", m.WriteTo)
 }
 
 // ReadModel deserializes a model written by WriteTo. It accepts the
@@ -143,7 +110,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 	case modelMagicV1:
 		return readModelBody(br)
 	case modelMagic:
-		cr := &crcReader{r: br, crc: crc32.NewIEEE()}
+		cr := fsio.NewCRCReader(br)
 		m, err := readModelBody(cr)
 		if err != nil {
 			return nil, err
@@ -152,7 +119,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
 			return nil, fmt.Errorf("warplda: reading model checksum: %w", err)
 		}
-		if got := cr.crc.Sum32(); got != want {
+		if got := cr.Sum32(); got != want {
 			return nil, fmt.Errorf("warplda: model checksum mismatch (file %08x, computed %08x): torn or corrupt file", want, got)
 		}
 		return m, nil

@@ -26,6 +26,7 @@ import (
 	"warplda/internal/corpus"
 	"warplda/internal/eval"
 	"warplda/internal/sampler"
+	"warplda/internal/train"
 )
 
 // Corpus is a tokenized bag-of-words document collection.
@@ -87,9 +88,14 @@ const (
 	AliasLDA  = "aliaslda"
 	FPlusLDA  = "flda"
 	LightLDA  = "lightlda"
+	// Distributed is the physically sharded WarpLDA of Section 5.3;
+	// cfg.Threads is its worker/shard count. It is constructible by name
+	// but kept out of Algorithms, which is the paper's shared-memory
+	// comparison set (Table 2).
+	Distributed = "distributed"
 )
 
-// Algorithms lists every available sampler name.
+// Algorithms lists the paper's comparison-set sampler names.
 var Algorithms = []string{WarpLDA, CGS, SparseLDA, AliasLDA, FPlusLDA, LightLDA}
 
 // NewSampler constructs the named inference algorithm over c.
@@ -107,8 +113,14 @@ func NewSampler(name string, c *Corpus, cfg Config) (Sampler, error) {
 		return baselines.NewFPlusLDA(c, cfg)
 	case LightLDA:
 		return baselines.NewLightLDA(c, cfg, baselines.LightLDAOptions{})
+	case Distributed:
+		workers := cfg.Threads
+		if workers < 1 {
+			workers = 1
+		}
+		return cluster.NewDistributed(c, cfg, workers)
 	default:
-		return nil, fmt.Errorf("warplda: unknown algorithm %q (have %v)", name, Algorithms)
+		return nil, fmt.Errorf("warplda: unknown algorithm %q (have %v)", name, append(Algorithms, Distributed))
 	}
 }
 
@@ -125,6 +137,41 @@ func NewDistributed(c *Corpus, cfg Config, workers int) (Sampler, error) {
 // every evalEvery iterations, and returns the convergence trace.
 func TrainSampler(s Sampler, c *Corpus, cfg Config, iters, evalEvery int) Run {
 	return sampler.Train(s, c, cfg, iters, evalEvery)
+}
+
+// TrainOptions configures an orchestrated (checkpointed, budgeted,
+// interruptible) training run; TrainResult describes how it ended and
+// TrainEvent is the per-iteration progress callback payload.
+type (
+	TrainOptions = train.Options
+	TrainResult  = train.Result
+	TrainEvent   = train.Event
+)
+
+// Checkpoint is a resumable training snapshot: configuration, loop
+// progress, convergence trace, corpus fingerprint, and the sampler's
+// complete serialized state.
+type Checkpoint = train.Checkpoint
+
+// TrainCheckpointed runs the internal/train orchestrator: train s on c
+// until opts.Iters iterations complete, the wall-clock budget runs out,
+// or a stop is requested, writing CRC-checksummed, atomically-renamed
+// checkpoints along the way. A run resumed from one of its checkpoints
+// (opts.ResumeFrom) produces bit-identical assignments and
+// log-likelihood trace to a run that was never interrupted.
+func TrainCheckpointed(s Sampler, c *Corpus, cfg Config, opts TrainOptions) (TrainResult, error) {
+	return train.Run(s, c, cfg, opts)
+}
+
+// LoadCheckpoint reads a checkpoint file (or the default checkpoint of
+// a checkpoint directory), verifying its checksum.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return train.Load(path) }
+
+// PublishModelPath resolves a "<model-dir>/<name>" publish spec to the
+// snapshot path the serving registry (cmd/warplda-serve) loads for
+// model <name>.
+func PublishModelPath(spec string) (path, name string, err error) {
+	return train.PublishPath(spec)
 }
 
 // LogLikelihood computes log p(W, Z | α, β) for the sampler's current
