@@ -6,6 +6,7 @@
 package warplda
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -207,6 +208,98 @@ func BenchmarkWarpLDATrainIteration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Iterate()
+	}
+	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// --- BenchmarkSample*: the hot-path family the bench-regression CI
+// lane tracks (go test -bench=BenchmarkSample -benchtime=3x -count=3,
+// post-processed by cmd/bench-ci into BENCH_<sha>.json and gated
+// against ci/bench-baseline.json). Keep names stable: the baseline is
+// keyed by them. ---
+
+// sampleBenchCorpus is larger than the ablation corpus so per-iteration
+// time dominates setup even at -benchtime=3x.
+func sampleBenchCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	c, err := GenerateLDA(SyntheticConfig{
+		D: 2000, V: 5000, K: 32, MeanLen: 120, Alpha: 0.1, Beta: 0.01, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchSample(b *testing.B, p CorpusProvider, threads int) {
+	b.Helper()
+	cfg := Defaults(128)
+	cfg.M = 2
+	cfg.Threads = threads
+	s, err := NewSampler(WarpLDA, p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Iterate() // warm-up
+	tokens := p.NumTokens()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Iterate()
+	}
+	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkSampleWarp is the headline serial sampling throughput.
+func BenchmarkSampleWarp(b *testing.B) {
+	benchSample(b, sampleBenchCorpus(b), 1)
+}
+
+// BenchmarkSampleWarpThreaded tracks the parallel phase machinery.
+func BenchmarkSampleWarpThreaded(b *testing.B) {
+	benchSample(b, sampleBenchCorpus(b), 4)
+}
+
+// BenchmarkSampleMappedCorpus is the out-of-core path: identical
+// sampling over a memory-mapped .warpcorpus, so a page-cache-hostile
+// regression in the mapped Doc path shows up next to the in-memory
+// number it should match.
+func BenchmarkSampleMappedCorpus(b *testing.B) {
+	c := sampleBenchCorpus(b)
+	dir := b.TempDir()
+	var uci bytes.Buffer
+	if err := WriteUCI(&uci, c); err != nil {
+		b.Fatal(err)
+	}
+	path := CorpusCachePath("bench.uci", dir)
+	if _, err := BuildCorpusCache(&uci, path, CorpusStreamOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	mc, err := OpenMappedCorpus(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mc.Close()
+	benchSample(b, mc, 1)
+}
+
+// BenchmarkSampleIngest tracks streaming ingestion itself: UCI bytes →
+// spill → assembled cache, in tokens/s of cache build throughput.
+func BenchmarkSampleIngest(b *testing.B) {
+	c := sampleBenchCorpus(b)
+	var uci bytes.Buffer
+	if err := WriteUCI(&uci, c); err != nil {
+		b.Fatal(err)
+	}
+	data := uci.Bytes()
+	dir := b.TempDir()
+	tokens := c.NumTokens()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := CorpusCachePath("ingest.uci", dir)
+		if _, err := BuildCorpusCache(bytes.NewReader(data), path, CorpusStreamOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(tokens*b.N)/b.Elapsed().Seconds(), "tokens/s")
 }

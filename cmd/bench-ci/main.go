@@ -1,0 +1,355 @@
+// Command bench-ci post-processes `go test -json -bench` output into a
+// benchmark report and gates CI on throughput regressions.
+//
+// The bench-regression CI job runs
+//
+//	go test -json -bench=BenchmarkSample -benchtime=3x -count=3 -run '^$' ./... > bench-raw.json
+//	bench-ci -in bench-raw.json -out BENCH_$GITHUB_SHA.json \
+//	    -baseline ci/bench-baseline.json -max-regression 0.25
+//
+// which writes the per-commit BENCH_<sha>.json artifact (the repo's
+// perf trajectory, one file per commit) and exits non-zero when any
+// benchmark's throughput fell more than 25% below the committed
+// baseline. Throughput is the benchmark's tokens/s metric when it
+// reports one, else ops/s derived from ns/op — higher is better either
+// way, so the gate needs no per-benchmark configuration.
+//
+// Refresh the baseline (after a reviewed perf change, or on new
+// hardware) with:
+//
+//	bench-ci -in bench-raw.json -update-baseline ci/bench-baseline.json
+//
+// Counted runs are folded to the best observation (max throughput, min
+// ns/op): benchmarks only get slower through noise, so the best of
+// -count runs is the least noisy regression signal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchRun is one benchmark result line from one counted run.
+type benchRun struct {
+	Name    string             // normalized: -cpu suffix stripped
+	Iters   int64              //
+	Metrics map[string]float64 // "ns/op", "tokens/s", "MB/s", ...
+}
+
+// Summary is one benchmark's folded result, as serialized into
+// BENCH_<sha>.json and the committed baseline.
+type Summary struct {
+	Name string `json:"name"`
+	// Runs is how many counted runs were folded.
+	Runs int `json:"runs"`
+	// NsPerOp is the fastest observed iteration time.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Throughput is the best observed throughput in ThroughputUnit
+	// (tokens/s when the benchmark reports it, else ops/s from ns/op).
+	Throughput     float64 `json:"throughput"`
+	ThroughputUnit string  `json:"throughput_unit"`
+}
+
+// Report is the BENCH_<sha>.json document.
+type Report struct {
+	SHA        string    `json:"sha,omitempty"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Benchmarks []Summary `json:"benchmarks"`
+}
+
+// testEvent is the subset of `go test -json` events we read. Package
+// matters: output events interleave across packages, and one benchmark
+// result line arrives split over several events (the padded name is
+// written before the benchmark runs, the numbers after), so lines must
+// be reassembled per package.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLineRE matches a benchmark result line: name, iteration count,
+// then value/unit pairs handled separately.
+var benchLineRE = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parseBenchLine parses "BenchmarkX-8  3  123 ns/op  456 tokens/s".
+func parseBenchLine(line string) (benchRun, bool) {
+	m := benchLineRE.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return benchRun{}, false
+	}
+	name := m[1]
+	// Strip the -GOMAXPROCS suffix so results are keyed stably across
+	// machines with different core counts.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return benchRun{}, false
+	}
+	run := benchRun{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchRun{}, false
+		}
+		run.Metrics[fields[i+1]] = v
+	}
+	if len(run.Metrics) == 0 {
+		return benchRun{}, false
+	}
+	return run, true
+}
+
+// parseGoTestJSON extracts benchmark runs from a `go test -json`
+// stream, reassembling each package's output events into whole lines
+// first. Non-JSON lines (plain `go test -bench` output piped in by
+// mistake, build noise) are tolerated: anything that looks like a
+// benchmark result counts.
+func parseGoTestJSON(r io.Reader) ([]benchRun, error) {
+	var runs []benchRun
+	partial := map[string]string{} // package -> unterminated output tail
+	emit := func(pkg, chunk string) {
+		text := partial[pkg] + chunk
+		for {
+			i := strings.IndexByte(text, '\n')
+			if i < 0 {
+				break
+			}
+			if run, ok := parseBenchLine(text[:i]); ok {
+				runs = append(runs, run)
+			}
+			text = text[i+1:]
+		}
+		partial[pkg] = text
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err == nil {
+			if ev.Action == "output" {
+				emit(ev.Package, ev.Output)
+			}
+			continue
+		}
+		if run, ok := parseBenchLine(string(line)); ok {
+			runs = append(runs, run)
+		}
+	}
+	for pkg, tail := range partial {
+		if run, ok := parseBenchLine(tail); ok {
+			runs = append(runs, run)
+		}
+		delete(partial, pkg)
+	}
+	return runs, sc.Err()
+}
+
+// throughputOf derives the comparable higher-is-better number: an
+// explicit tokens/s metric when present, else ops/s.
+func throughputOf(run benchRun) (float64, string) {
+	if v, ok := run.Metrics["tokens/s"]; ok {
+		return v, "tokens/s"
+	}
+	if ns, ok := run.Metrics["ns/op"]; ok && ns > 0 {
+		return 1e9 / ns, "ops/s"
+	}
+	return 0, ""
+}
+
+// summarize folds counted runs into per-benchmark summaries, sorted by
+// name for stable diffs.
+func summarize(runs []benchRun) []Summary {
+	byName := map[string]*Summary{}
+	for _, run := range runs {
+		tp, unit := throughputOf(run)
+		if unit == "" {
+			continue
+		}
+		s := byName[run.Name]
+		if s == nil {
+			s = &Summary{Name: run.Name, NsPerOp: run.Metrics["ns/op"], Throughput: tp, ThroughputUnit: unit}
+			byName[run.Name] = s
+		} else {
+			if ns := run.Metrics["ns/op"]; ns > 0 && (s.NsPerOp == 0 || ns < s.NsPerOp) {
+				s.NsPerOp = ns
+			}
+			if tp > s.Throughput {
+				s.Throughput = tp
+			}
+		}
+		s.Runs++
+	}
+	out := make([]Summary, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// compare returns one violation line per benchmark whose throughput
+// regressed more than maxRegression (fraction) below the baseline, and
+// separate warnings for baseline benchmarks that vanished.
+func compare(baseline, current []Summary, maxRegression float64) (violations, warnings []string) {
+	cur := map[string]Summary{}
+	for _, s := range current {
+		cur[s.Name] = s
+	}
+	for _, base := range baseline {
+		got, ok := cur[base.Name]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: in baseline but not in this run (renamed or deleted? refresh the baseline)", base.Name))
+			continue
+		}
+		if got.ThroughputUnit != base.ThroughputUnit {
+			// tokens/s vs ops/s are not comparable in either direction: a
+			// benchmark that gained or lost its ReportMetric must come with
+			// a baseline refresh, not sail through on a nonsense ratio.
+			violations = append(violations, fmt.Sprintf("%s: unit changed (%s now, %s in baseline); refresh the baseline",
+				base.Name, got.ThroughputUnit, base.ThroughputUnit))
+			continue
+		}
+		if base.Throughput <= 0 {
+			continue
+		}
+		drop := 1 - got.Throughput/base.Throughput
+		if drop > maxRegression {
+			violations = append(violations, fmt.Sprintf("%s: %.0f %s, baseline %.0f (%.1f%% regression > %.0f%% allowed)",
+				base.Name, got.Throughput, got.ThroughputUnit, base.Throughput, drop*100, maxRegression*100))
+		}
+	}
+	return violations, warnings
+}
+
+// envMatches reports whether the baseline was recorded in a comparable
+// environment. Absolute throughput only gates meaningfully against a
+// baseline from the same OS/arch/toolchain class; a mismatch (first CI
+// run after a local refresh, a Go upgrade, a runner migration) makes
+// the comparison informational until the baseline is refreshed from
+// this environment's own BENCH artifact.
+func envMatches(base, cur Report) (bool, string) {
+	switch {
+	case base.GOOS != cur.GOOS:
+		return false, fmt.Sprintf("baseline GOOS %s vs %s", base.GOOS, cur.GOOS)
+	case base.GOARCH != cur.GOARCH:
+		return false, fmt.Sprintf("baseline GOARCH %s vs %s", base.GOARCH, cur.GOARCH)
+	case base.GoVersion != cur.GoVersion:
+		return false, fmt.Sprintf("baseline recorded with %s, running %s", base.GoVersion, cur.GoVersion)
+	}
+	return true, ""
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		in          = flag.String("in", "-", "go test -json output ('-' for stdin)")
+		out         = flag.String("out", "", "write the BENCH_<sha>.json report here")
+		sha         = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha recorded in the report")
+		baselineF   = flag.String("baseline", "", "committed baseline report to gate against")
+		maxRegress  = flag.Float64("max-regression", 0.25, "maximum allowed fractional throughput regression vs the baseline")
+		updateBase  = flag.String("update-baseline", "", "write a fresh baseline report here and exit")
+		failOnEmpty = flag.Bool("fail-on-empty", true, "fail when no benchmark results were found in the input")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	runs, err := parseGoTestJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+	summaries := summarize(runs)
+	if len(summaries) == 0 && *failOnEmpty {
+		fatal(fmt.Errorf("no benchmark results found in %s", *in))
+	}
+	report := Report{
+		SHA:        *sha,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: summaries,
+	}
+
+	if *updateBase != "" {
+		if err := writeJSON(*updateBase, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-ci: baseline %s updated (%d benchmarks)\n", *updateBase, len(summaries))
+		return
+	}
+	if *out != "" {
+		if err := writeJSON(*out, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-ci: wrote %s (%d benchmarks)\n", *out, len(summaries))
+	}
+
+	if *baselineF != "" {
+		data, err := os.ReadFile(*baselineF)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baselineF, err))
+		}
+		violations, warnings := compare(base.Benchmarks, summaries, *maxRegress)
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "bench-ci: warning: %s\n", w)
+		}
+		if ok, why := envMatches(base, report); !ok {
+			// Different hardware/toolchain class: report, don't gate. The
+			// BENCH artifact from this run is the baseline to commit.
+			fmt.Fprintf(os.Stderr, "bench-ci: warning: %s — comparison is informational; refresh the baseline from this environment (-update-baseline)\n", why)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "bench-ci: (not gated) %s\n", v)
+			}
+			return
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "bench-ci: REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench-ci: %d benchmarks within %.0f%% of baseline %s\n",
+			len(base.Benchmarks), *maxRegress*100, *baselineF)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench-ci: %v\n", err)
+	os.Exit(1)
+}

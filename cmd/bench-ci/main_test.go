@@ -1,0 +1,143 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		name string
+		tp   float64
+		unit string
+	}{
+		{"BenchmarkSampleWarp-8  3  53190112 ns/op  4511071 tokens/s", true, "BenchmarkSampleWarp", 4511071, "tokens/s"},
+		{"BenchmarkSampleWarp  1  53190112 ns/op  4511071 tokens/s", true, "BenchmarkSampleWarp", 4511071, "tokens/s"},
+		{"BenchmarkFreeze-4  10  1000000 ns/op", true, "BenchmarkFreeze", 1000, "ops/s"},
+		{"BenchmarkSampleIngest 	       1	 169525500 ns/op	  12.58 MB/s	 1415330 tokens/s", true, "BenchmarkSampleIngest", 1415330, "tokens/s"},
+		{"PASS", false, "", 0, ""},
+		{"ok  	warplda	1.046s", false, "", 0, ""},
+		{"goos: linux", false, "", 0, ""},
+		{"BenchmarkBroken  x  12 ns/op", false, "", 0, ""},
+	}
+	for _, tc := range cases {
+		run, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if run.Name != tc.name {
+			t.Errorf("parseBenchLine(%q) name = %q, want %q", tc.line, run.Name, tc.name)
+		}
+		tp, unit := throughputOf(run)
+		if tp != tc.tp || unit != tc.unit {
+			t.Errorf("throughputOf(%q) = %v %s, want %v %s", tc.line, tp, unit, tc.tp, tc.unit)
+		}
+	}
+}
+
+// rawStream is a realistic `go test -json` excerpt: framing events,
+// result lines split across output events (the padded name is written
+// before the benchmark runs, the numbers after) and interleaved across
+// packages, three counted runs of one benchmark, and a plain non-JSON
+// line (tolerated).
+const rawStream = `{"Action":"start","Package":"warplda"}
+{"Action":"output","Package":"warplda","Output":"goos: linux\n"}
+{"Action":"output","Package":"warplda","Output":"BenchmarkSampleWarp-8 \t"}
+{"Action":"output","Package":"warplda/internal/ftree","Output":"BenchmarkSample-8 \t"}
+{"Action":"output","Package":"warplda","Output":"       3\t  53190112 ns/op\t   4511071 tokens/s\n"}
+{"Action":"output","Package":"warplda","Output":"BenchmarkSampleWarp-8 \t       3\t  60000000 ns/op\t   4000000 tokens/s\n"}
+{"Action":"output","Package":"warplda","Output":"BenchmarkSampleWarp-8 \t"}
+{"Action":"output","Package":"warplda","Output":"       3\t  50000000 ns/op\t   4800000 tokens/s\n"}
+{"Action":"output","Package":"warplda/internal/ftree","Output":" 1000000\t      1052 ns/op\n"}
+{"Action":"output","Package":"warplda","Output":"PASS\n"}
+BenchmarkPlainLine 	       2	  10000000 ns/op	   99 tokens/s
+{"Action":"pass","Package":"warplda"}
+`
+
+func TestParseAndSummarize(t *testing.T) {
+	runs, err := parseGoTestJSON(strings.NewReader(rawStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := summarize(runs)
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries (%+v), want 3", len(sums), sums)
+	}
+	byName := map[string]Summary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	warp := byName["BenchmarkSampleWarp"]
+	if warp.Runs != 3 {
+		t.Errorf("BenchmarkSampleWarp folded %d runs, want 3", warp.Runs)
+	}
+	if warp.Throughput != 4800000 || warp.NsPerOp != 50000000 {
+		t.Errorf("BenchmarkSampleWarp best = %v tokens/s / %v ns/op, want 4800000 / 50000000", warp.Throughput, warp.NsPerOp)
+	}
+	if ftree := byName["BenchmarkSample"]; ftree.ThroughputUnit != "ops/s" {
+		t.Errorf("metric-less benchmark should fall back to ops/s, got %q", ftree.ThroughputUnit)
+	}
+	if plain := byName["BenchmarkPlainLine"]; plain.Throughput != 99 {
+		t.Errorf("plain-text line not parsed: %+v", plain)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Summary{
+		{Name: "A", Throughput: 1000, ThroughputUnit: "tokens/s"},
+		{Name: "B", Throughput: 1000, ThroughputUnit: "tokens/s"},
+		{Name: "Gone", Throughput: 500, ThroughputUnit: "tokens/s"},
+	}
+	cur := []Summary{
+		{Name: "A", Throughput: 800, ThroughputUnit: "tokens/s"},  // -20%: within 25%
+		{Name: "B", Throughput: 700, ThroughputUnit: "tokens/s"},  // -30%: violation
+		{Name: "New", Throughput: 42, ThroughputUnit: "tokens/s"}, // not gated
+	}
+	violations, warnings := compare(base, cur, 0.25)
+	if len(violations) != 1 || !strings.Contains(violations[0], "B:") {
+		t.Fatalf("violations = %v, want exactly B", violations)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "Gone") {
+		t.Fatalf("warnings = %v, want exactly Gone", warnings)
+	}
+
+	// Improvements and equality never fail.
+	violations, _ = compare(base[:2], []Summary{
+		{Name: "A", Throughput: 1000, ThroughputUnit: "tokens/s"},
+		{Name: "B", Throughput: 2000, ThroughputUnit: "tokens/s"},
+	}, 0.25)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations %v", violations)
+	}
+}
+
+func TestCompareUnitMismatch(t *testing.T) {
+	base := []Summary{{Name: "A", Throughput: 23, ThroughputUnit: "ops/s"}}
+	cur := []Summary{{Name: "A", Throughput: 5.5e6, ThroughputUnit: "tokens/s"}}
+	violations, _ := compare(base, cur, 0.25)
+	if len(violations) != 1 || !strings.Contains(violations[0], "unit changed") {
+		t.Fatalf("unit mismatch not flagged: %v", violations)
+	}
+}
+
+func TestEnvMatches(t *testing.T) {
+	a := Report{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "amd64"}
+	if ok, _ := envMatches(a, a); !ok {
+		t.Fatal("identical envs should match")
+	}
+	for _, b := range []Report{
+		{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64"},
+		{GoVersion: "go1.22.1", GOOS: "darwin", GOARCH: "amd64"},
+		{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "arm64"},
+	} {
+		if ok, why := envMatches(a, b); ok || why == "" {
+			t.Fatalf("mismatched envs %+v vs %+v not detected", a, b)
+		}
+	}
+}

@@ -7,15 +7,48 @@
 //
 //	lda-gen -docs 10000 -vocab 5000 -topics 50 -len 150 -o corpus.uci
 //	lda-gen -zipf -docs 10000 -vocab 5000 -len 150 -o zipf.uci
+//
+// With -uci the docword stream is generated without materializing the
+// corpus — memory stays O(one document) however large -docs is — so CI
+// and tests can synthesize arbitrarily large files (e.g. to exercise
+// warplda-train -stream) instead of checking in fixtures. The bytes
+// are identical to the materializing path for the same flags.
+//
+//	lda-gen -uci -zipf -docs 50000000 -vocab 100000 -len 300 -o huge.uci
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"warplda/internal/corpus"
 )
+
+// lazyFile defers os.Create until the first Write.
+type lazyFile struct {
+	path string
+	f    *os.File
+}
+
+func (l *lazyFile) Write(p []byte) (int, error) {
+	if l.f == nil {
+		f, err := os.Create(l.path)
+		if err != nil {
+			return 0, err
+		}
+		l.f = f
+	}
+	return l.f.Write(p)
+}
+
+func (l *lazyFile) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
 
 func main() {
 	var (
@@ -28,34 +61,52 @@ func main() {
 		zipf   = flag.Bool("zipf", false, "Zipf mode instead of LDA-generative")
 		zipfS  = flag.Float64("zipf-s", 1.0, "Zipf exponent (Zipf mode)")
 		seed   = flag.Uint64("seed", 1, "random seed")
+		uci    = flag.Bool("uci", false, "stream the UCI output without materializing the corpus (constant memory; for arbitrarily large -docs)")
 		out    = flag.String("o", "-", "output path ('-' for stdout)")
 	)
 	flag.Parse()
+
+	// The output file is created lazily, on the first byte written:
+	// generation errors (invalid config) must not truncate a
+	// pre-existing output file.
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		lw := &lazyFile{path: *out}
+		defer lw.Close()
+		w = lw
+	}
+
+	ldaCfg := corpus.SyntheticConfig{
+		D: *docs, V: *vocab, K: *topics, MeanLen: *length,
+		Alpha: *alpha, Beta: *beta, Seed: *seed,
+	}
+
+	if *uci {
+		var st corpus.Stats
+		var err error
+		if *zipf {
+			st, err = corpus.StreamZipfUCI(w, *docs, *vocab, *length, *zipfS, *seed)
+		} else {
+			st, err = corpus.StreamLDAUCI(w, ldaCfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lda-gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lda-gen: wrote %s (streamed)\n", st)
+		return
+	}
 
 	var c *corpus.Corpus
 	if *zipf {
 		c = corpus.GenerateZipf(*docs, *vocab, *length, *zipfS, *seed)
 	} else {
 		var err error
-		c, err = corpus.GenerateLDA(corpus.SyntheticConfig{
-			D: *docs, V: *vocab, K: *topics, MeanLen: *length,
-			Alpha: *alpha, Beta: *beta, Seed: *seed,
-		})
+		c, err = corpus.GenerateLDA(ldaCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lda-gen: %v\n", err)
 			os.Exit(1)
 		}
-	}
-
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lda-gen: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
 	}
 	if err := corpus.WriteUCI(w, c); err != nil {
 		fmt.Fprintf(os.Stderr, "lda-gen: %v\n", err)

@@ -21,6 +21,16 @@
 //	^C (or kubectl delete pod, spot preemption, ...)
 //	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/ -resume ckpt/
 //
+// Corpora larger than RAM train with -stream: the docword file is
+// parsed once in bounded memory (-max-resident-mb) into a checksummed
+// .warpcorpus cache (-corpus-cache names the directory; default is next
+// to the source), which is then memory-mapped read-only — the token
+// array lives in page cache, not heap, and later runs (including
+// -resume) reuse the cache without touching the source file. Streaming
+// and in-memory runs of the same corpus are bit-identical.
+//
+//	warplda-train -corpus huge.uci -stream -corpus-cache /fast-ssd/cache -iters 100
+//
 // A model saved with -save is the snapshot cmd/warplda-serve loads,
 // written in the versioned, CRC32-checksummed format (WARPLDA v2) via
 // temp-file + atomic rename. -publish <model-dir>/<name> drops the same
@@ -50,14 +60,17 @@ func main() { os.Exit(run()) }
 // trainFlags carries the flag values validateFlags checks (split out so
 // the validation is unit-testable).
 type trainFlags struct {
-	corpusPath string
-	algo       string
-	topics     int
-	m          int
-	iters      int
-	threads    int
-	budget     time.Duration
-	publish    string
+	corpusPath    string
+	algo          string
+	topics        int
+	m             int
+	iters         int
+	threads       int
+	budget        time.Duration
+	publish       string
+	stream        bool
+	corpusCache   string
+	maxResidentMB int
 }
 
 // validateFlags rejects configurations that would previously misbehave
@@ -81,6 +94,12 @@ func validateFlags(f trainFlags) error {
 	}
 	if f.budget < 0 {
 		return fmt.Errorf("-budget = %v, want >= 0", f.budget)
+	}
+	if f.maxResidentMB < 0 {
+		return fmt.Errorf("-max-resident-mb = %d, want >= 0", f.maxResidentMB)
+	}
+	if !f.stream && (f.corpusCache != "" || f.maxResidentMB != 0) {
+		return fmt.Errorf("-corpus-cache and -max-resident-mb only apply with -stream")
 	}
 	if f.publish != "" {
 		if _, _, err := warplda.PublishModelPath(f.publish); err != nil {
@@ -115,43 +134,61 @@ func run() int {
 		resumePath = flag.String("resume", "", "resume from this checkpoint file (or its directory); reuses the checkpoint's configuration — pass the same -algo")
 		publish    = flag.String("publish", "", "after training, atomically install the model as <model-dir>/<name> for a running warplda-serve")
 		budget     = flag.Duration("budget", 0, "wall-clock sampling budget (e.g. 2h30m); 0 = none")
+		stream     = flag.Bool("stream", false, "out-of-core ingestion: build (or reuse) a .warpcorpus cache and memory-map it instead of loading the corpus into RAM")
+		cacheDir   = flag.String("corpus-cache", "", "directory for the .warpcorpus cache (with -stream; default: the corpus file's directory)")
+		maxResMB   = flag.Int("max-resident-mb", 0, "ingestion buffer budget in MiB while building the cache (with -stream; 0 = 64)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(trainFlags{
 		corpusPath: *corpusPath, algo: *algo, topics: *topics, m: *m,
 		iters: *iters, threads: *threads, budget: *budget, publish: *publish,
+		stream: *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
 		flag.Usage()
 		return 2
 	}
 
-	f, err := os.Open(*corpusPath)
-	if err != nil {
-		return fatal(err)
+	var c warplda.CorpusProvider
+	if *stream {
+		mc, err := openOrBuildCache(*corpusPath, *cacheDir, *maxResMB)
+		if err != nil {
+			return fatal(err)
+		}
+		defer mc.Close()
+		c = mc
+	} else {
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			return fatal(err)
+		}
+		cm, err := warplda.ReadUCI(f)
+		f.Close()
+		if err != nil {
+			return fatal(err)
+		}
+		c = cm
 	}
-	c, err := warplda.ReadUCI(f)
-	f.Close()
-	if err != nil {
-		return fatal(err)
-	}
+	var vocab []string
 	if *vocabPath != "" {
 		vf, err := os.Open(*vocabPath)
 		if err != nil {
 			return fatal(err)
 		}
-		vocab, err := warplda.ReadVocab(vf)
+		vocab, err = warplda.ReadVocab(vf)
 		vf.Close()
 		if err != nil {
 			return fatal(err)
 		}
-		if len(vocab) != c.V {
-			return fatal(fmt.Errorf("vocab has %d words, corpus declares %d", len(vocab), c.V))
+		if len(vocab) != c.NumWords() {
+			return fatal(fmt.Errorf("vocab has %d words, corpus declares %d", len(vocab), c.NumWords()))
 		}
-		c.Vocab = vocab
+		if cm, ok := c.(*warplda.Corpus); ok {
+			cm.Vocab = vocab
+		}
 	}
-	fmt.Printf("corpus: %s\n", c.Stats())
+	fmt.Printf("corpus: %s\n", warplda.CorpusStats(c))
 
 	cfg := warplda.Defaults(*topics)
 	cfg.M = *m
@@ -197,6 +234,15 @@ func run() int {
 	s, err := warplda.NewSampler(*algo, c, cfg)
 	if err != nil {
 		return fatal(err)
+	}
+
+	// Create the checkpoint directory up front: discovering it is
+	// missing at the first mid-run checkpoint would abort the run and
+	// lose the progress the flag existed to protect.
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fatal(err)
+		}
 	}
 
 	// First signal: finish the current iteration, checkpoint, exit
@@ -250,6 +296,18 @@ func run() int {
 			if *vocabPath != "" {
 				cmd += " -vocab " + *vocabPath
 			}
+			if *stream {
+				// Resuming with -stream reuses the cache: the checkpoint's
+				// fingerprint is validated against the cache header, no
+				// source re-read.
+				cmd += " -stream"
+				if *cacheDir != "" {
+					cmd += " -corpus-cache " + *cacheDir
+				}
+				if *maxResMB != 0 {
+					cmd += fmt.Sprintf(" -max-resident-mb %d", *maxResMB)
+				}
+			}
 			// Elapsed sampling time is cumulative across resumes, so after a
 			// budget stop the same -budget would halt again immediately —
 			// suggest it only for signal interruptions.
@@ -270,6 +328,11 @@ func run() int {
 	}
 
 	model := warplda.Snapshot(c, s, cfg)
+	if model.Vocab == nil && vocab != nil {
+		// A mapped corpus carries no vocabulary; attach the one loaded
+		// from -vocab so saved snapshots and topic listings use words.
+		model.Vocab = vocab
+	}
 	if *savePath != "" {
 		n, err := model.WriteFile(*savePath)
 		if err != nil {
@@ -300,6 +363,67 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// sourceStamp is the source-file identity recorded beside a cache
+// (<cache>.src) when it is built: reuse requires the current source to
+// match it exactly. Size+mtime catches regeneration in either time
+// direction (touch, cp -p restoring an older file, in-place rewrite) —
+// the same class of staleness the serving registry guards with
+// inode-aware change detection.
+func sourceStamp(st os.FileInfo) string {
+	return fmt.Sprintf("%d %d\n", st.Size(), st.ModTime().UnixNano())
+}
+
+// openOrBuildCache returns the mapped corpus for corpusPath's
+// .warpcorpus cache, building the cache from the source file first when
+// no valid one exists. A cache that fails to open (missing, torn,
+// corrupt, stale format) or whose recorded source identity no longer
+// matches the docword file is rebuilt rather than trusted —
+// regenerating the source must never leave training silently running
+// on the old corpus under the same name.
+func openOrBuildCache(corpusPath, cacheDir string, maxResMB int) (*warplda.MappedCorpus, error) {
+	cachePath := warplda.CorpusCachePath(corpusPath, cacheDir)
+	srcSt, err := os.Stat(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	stampPath := cachePath + ".src"
+	if stamp, err := os.ReadFile(stampPath); err != nil || string(stamp) != sourceStamp(srcSt) {
+		// No stamp (pre-stamp cache, or a crash between cache rename and
+		// stamp write) is treated as stale, not trusted: the cache cannot
+		// prove it matches the named source, so it is rebuilt once and
+		// stamped. Quiet when the cache itself does not exist yet.
+		if _, cerr := os.Stat(cachePath); cerr == nil {
+			fmt.Fprintf(os.Stderr, "warplda-train: cannot confirm %s still matches its cache; rebuilding\n", corpusPath)
+		}
+	} else if mc, err := warplda.OpenMappedCorpus(cachePath); err == nil {
+		fmt.Printf("corpus cache: reusing %s (fingerprint %08x)\n", cachePath, mc.CorpusFingerprint())
+		return mc, nil
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "warplda-train: rebuilding corpus cache: %v\n", err)
+	}
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Open(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	info, err := warplda.BuildCorpusCache(f, cachePath, warplda.CorpusStreamOptions{
+		MaxResidentBytes: int64(maxResMB) << 20,
+	})
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(stampPath, []byte(sourceStamp(srcSt)), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Printf("corpus cache: built %s (%s, fingerprint %08x)\n", cachePath, info.Stats(), info.Fingerprint)
+	return warplda.OpenMappedCorpus(cachePath)
 }
 
 func fatal(err error) int {

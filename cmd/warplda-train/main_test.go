@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -28,6 +30,9 @@ func TestValidateFlags(t *testing.T) {
 		{"unknown algo", func(f *trainFlags) { f.algo = "vibes" }, "-algo"},
 		{"publish without name", func(f *trainFlags) { f.publish = "justaname" }, "publish"},
 		{"publish with .bin", func(f *trainFlags) { f.publish = "models/news.bin" }, ".bin"},
+		{"negative max-resident-mb", func(f *trainFlags) { f.stream = true; f.maxResidentMB = -1 }, "-max-resident-mb"},
+		{"corpus-cache without stream", func(f *trainFlags) { f.corpusCache = "cache/" }, "-stream"},
+		{"max-resident-mb without stream", func(f *trainFlags) { f.maxResidentMB = 128 }, "-stream"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -56,5 +61,81 @@ func TestValidateFlags(t *testing.T) {
 	cgs.m = 0
 	if err := validateFlags(cgs); err != nil {
 		t.Fatalf("cgs with m=0 rejected: %v", err)
+	}
+	// The full streaming flag set is legal together.
+	stream := ok
+	stream.stream = true
+	stream.corpusCache = "cache/"
+	stream.maxResidentMB = 256
+	if err := validateFlags(stream); err != nil {
+		t.Fatalf("stream flags rejected: %v", err)
+	}
+}
+
+func TestOpenOrBuildCache(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "c.uci")
+	if err := os.WriteFile(src, []byte("2\n3\n3\n1 1 2\n1 3 1\n2 2 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+
+	mc, err := openOrBuildCache(src, cacheDir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NumDocs() != 2 || mc.NumWords() != 3 || mc.NumTokens() != 4 {
+		t.Fatalf("mapped corpus D=%d V=%d T=%d, want 2/3/4", mc.NumDocs(), mc.NumWords(), mc.NumTokens())
+	}
+	fp := mc.CorpusFingerprint()
+	cachePath := mc.Path()
+	mc.Close()
+
+	// Second call must reuse the existing cache (same fingerprint).
+	mc2, err := openOrBuildCache(src, cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc2.Path() != cachePath || mc2.CorpusFingerprint() != fp {
+		t.Fatalf("reuse opened %s fp %08x, want %s fp %08x", mc2.Path(), mc2.CorpusFingerprint(), cachePath, fp)
+	}
+	mc2.Close()
+
+	// A torn cache is rebuilt from the source, not trusted.
+	data, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cachePath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mc3, err := openOrBuildCache(src, cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc3.CorpusFingerprint() != fp {
+		t.Fatalf("rebuilt cache fingerprint %08x, want %08x", mc3.CorpusFingerprint(), fp)
+	}
+	mc3.Close()
+
+	// A source regenerated after the cache was built must trigger a
+	// rebuild, not a silent reuse of the stale cache.
+	if err := os.WriteFile(src, []byte("1\n2\n1\n1 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(src, future, future); err != nil {
+		t.Fatal(err)
+	}
+	mc4, err := openOrBuildCache(src, cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc4.Close()
+	if mc4.CorpusFingerprint() == fp {
+		t.Fatal("stale cache reused after the source changed")
+	}
+	if mc4.NumDocs() != 1 || mc4.NumTokens() != 3 {
+		t.Fatalf("rebuilt corpus D=%d T=%d, want 1/3", mc4.NumDocs(), mc4.NumTokens())
 	}
 }

@@ -66,11 +66,13 @@ type Options struct {
 	DisableIntraWord bool
 }
 
-// Warp is the WarpLDA sampler bound to one corpus.
+// Warp is the WarpLDA sampler bound to one corpus. The corpus may be
+// any Provider: in-memory, or a memory-mapped .warpcorpus cache whose
+// token array lives in page cache instead of heap (corpus.OpenMapped).
 type Warp struct {
 	cfg  sampler.Config
 	opts Options
-	c    *corpus.Corpus
+	c    corpus.Provider
 
 	// m holds one entry per token at (doc, word); the payload is the
 	// current assignment z followed by M proposals.
@@ -107,19 +109,19 @@ type worker struct {
 
 // New builds a WarpLDA sampler. The corpus must be valid; cfg.M ≥ 1 is
 // required (the paper uses M between 1 and 4).
-func New(c *corpus.Corpus, cfg sampler.Config) (*Warp, error) {
+func New(c corpus.Provider, cfg sampler.Config) (*Warp, error) {
 	return NewWithOptions(c, cfg, Options{})
 }
 
 // NewWithOptions is New with implementation knobs exposed for ablations.
-func NewWithOptions(c *corpus.Corpus, cfg sampler.Config, opts Options) (*Warp, error) {
+func NewWithOptions(c corpus.Provider, cfg sampler.Config, opts Options) (*Warp, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.M < 1 {
 		return nil, fmt.Errorf("core: M = %d, want >= 1", cfg.M)
 	}
-	if err := c.Validate(); err != nil {
+	if err := corpus.ValidateProvider(c); err != nil {
 		return nil, err
 	}
 	if opts.DenseThreshold <= 0 {
@@ -135,7 +137,7 @@ func NewWithOptions(c *corpus.Corpus, cfg sampler.Config, opts Options) (*Warp, 
 		c:        c,
 		ck:       make([]int32, cfg.K),
 		ckNext:   make([]int32, cfg.K),
-		betaBar:  cfg.Beta * float64(c.V),
+		betaBar:  cfg.Beta * float64(c.NumWords()),
 		alphaBar: cfg.AlphaBar(),
 		alphas:   cfg.Alphas(),
 	}
@@ -143,9 +145,9 @@ func NewWithOptions(c *corpus.Corpus, cfg sampler.Config, opts Options) (*Warp, 
 		w.alphaTab = alias.New(cfg.AlphaVec)
 	}
 
-	b := sparse.NewBuilder(max(1, c.NumDocs()), c.V, cfg.M+1)
-	for d, doc := range c.Docs {
-		for _, word := range doc {
+	b := sparse.NewBuilder(max(1, c.NumDocs()), c.NumWords(), cfg.M+1)
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		for _, word := range c.Doc(d) {
 			b.AddEntry(d, int(word))
 		}
 	}
@@ -178,11 +180,11 @@ func (w *Warp) buildWorkers(r *rng.RNG) {
 	w.workers = make([]*worker, n)
 
 	// Balance the phase work: columns by term frequency, rows by length.
-	tf := w.c.TermFrequencies()
+	tf := corpus.TermFreqsOf(w.c)
 	// Section 5.4: the most frequent words (Lw > K) are processed with
 	// all workers cooperating on one column at a time; they are excluded
 	// from the per-worker ranges by zeroing their weight.
-	w.isHeavy = make([]bool, w.c.V)
+	w.isHeavy = make([]bool, w.c.NumWords())
 	if n > 1 && !w.opts.DisableIntraWord {
 		threshold := w.cfg.K
 		if threshold < 1024 {
@@ -201,8 +203,8 @@ func (w *Warp) buildWorkers(r *rng.RNG) {
 	}
 	colCut := contiguousCuts(tf, n)
 	dl := make([]int, w.c.NumDocs())
-	for d, doc := range w.c.Docs {
-		dl[d] = len(doc)
+	for d := range dl {
+		dl[d] = len(w.c.Doc(d))
 	}
 	rowCut := contiguousCuts(dl, n)
 
@@ -578,9 +580,9 @@ func growF(s *[]float64, n int) []float64 {
 // (Row views preserve insertion order, which was token order.)
 func (w *Warp) Assignments() [][]int32 {
 	if w.asgBuf == nil {
-		w.asgBuf = make([][]int32, len(w.c.Docs))
-		for d, doc := range w.c.Docs {
-			w.asgBuf[d] = make([]int32, len(doc))
+		w.asgBuf = make([][]int32, w.c.NumDocs())
+		for d := range w.asgBuf {
+			w.asgBuf[d] = make([]int32, len(w.c.Doc(d)))
 		}
 	}
 	w.m.VisitByRow(func(row int, v sparse.RowView) {

@@ -41,14 +41,20 @@ type Stats struct {
 	L float64 // T/D, mean document length
 }
 
-// Stats returns the corpus summary.
-func (c *Corpus) Stats() Stats {
-	t := c.NumTokens()
-	s := Stats{D: c.NumDocs(), T: t, V: c.V}
-	if s.D > 0 {
-		s.L = float64(t) / float64(s.D)
+// newStats assembles the summary from raw dimensions — the single
+// place the mean document length is derived, shared by every Stats
+// producer (Corpus, Provider, cache info, streaming generators).
+func newStats(d, t, v int) Stats {
+	s := Stats{D: d, T: t, V: v}
+	if d > 0 {
+		s.L = float64(t) / float64(d)
 	}
 	return s
+}
+
+// Stats returns the corpus summary.
+func (c *Corpus) Stats() Stats {
+	return newStats(c.NumDocs(), c.NumTokens(), c.V)
 }
 
 // String formats the stats as a Table-3 style row.
@@ -101,23 +107,7 @@ type WordMajor struct {
 // BuildWordMajor constructs the word-major view in O(T + V) by counting
 // sort, which also guarantees the per-column sort by document id the
 // paper's Section 5.2 relies on for cache-line reuse.
-func BuildWordMajor(c *Corpus) *WordMajor {
-	tf := c.TermFrequencies()
-	start := make([]int32, c.V+1)
-	for w := 0; w < c.V; w++ {
-		start[w+1] = start[w] + int32(tf[w])
-	}
-	docID := make([]int32, c.NumTokens())
-	next := make([]int32, c.V)
-	copy(next, start[:c.V])
-	for d, doc := range c.Docs {
-		for _, w := range doc {
-			docID[next[w]] = int32(d)
-			next[w]++
-		}
-	}
-	return &WordMajor{Start: start, DocID: docID}
-}
+func BuildWordMajor(c *Corpus) *WordMajor { return BuildWordMajorOf(c) }
 
 // TopWordsShare returns the fraction of all tokens contributed by the n
 // most frequent words — the power-law statistic the paper quotes for

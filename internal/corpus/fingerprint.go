@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/crc32"
+)
+
+// Fingerprinted is the fast path FingerprintOf dispatches on: providers
+// that already know their fingerprint (a *MappedCorpus reads it from
+// the cache header instead of re-walking T tokens) implement it.
+type Fingerprinted interface {
+	CorpusFingerprint() uint32
+}
+
+// FPHasher incrementally computes the corpus identity fingerprint that
+// training checkpoints are bound to. The hashed sequence is
+//
+//	V, D, then per document: len(doc), tokens...
+//
+// (all as little-endian int64), which pins dimensions, document
+// boundaries, and every token: resuming a checkpoint against a
+// reordered, truncated, or simply different corpus is caught before any
+// sampler state is restored. The streaming cache builder feeds it one
+// document at a time, so a cache file can carry the same fingerprint an
+// in-memory load of the same source would produce — mapped and
+// materialized corpora are checkpoint-interchangeable.
+type FPHasher struct {
+	crc hash.Hash32
+	buf [8]byte
+}
+
+// NewFPHasher returns a hasher primed with the corpus dimensions.
+func NewFPHasher(v, d int) *FPHasher {
+	h := &FPHasher{crc: crc32.NewIEEE()}
+	h.putInt(int64(v))
+	h.putInt(int64(d))
+	return h
+}
+
+func (h *FPHasher) putInt(v int64) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
+	h.crc.Write(h.buf[:])
+}
+
+// AddDoc hashes the next document (documents must be fed in order).
+func (h *FPHasher) AddDoc(tokens []int32) {
+	h.putInt(int64(len(tokens)))
+	for _, w := range tokens {
+		h.putInt(int64(w))
+	}
+}
+
+// Sum32 returns the fingerprint of everything hashed so far.
+func (h *FPHasher) Sum32() uint32 { return h.crc.Sum32() }
+
+// Fingerprint walks p and computes its identity fingerprint. O(T);
+// callers fingerprinting repeatedly should use FingerprintOf, which
+// lets caching providers answer in O(1).
+func Fingerprint(p Provider) uint32 {
+	h := NewFPHasher(p.NumWords(), p.NumDocs())
+	for d, nd := 0, p.NumDocs(); d < nd; d++ {
+		h.AddDoc(p.Doc(d))
+	}
+	return h.Sum32()
+}
+
+// FingerprintOf returns p's identity fingerprint, preferring a
+// provider's own cached value (Fingerprinted) over the O(T) walk.
+func FingerprintOf(p Provider) uint32 {
+	if f, ok := p.(Fingerprinted); ok {
+		return f.CorpusFingerprint()
+	}
+	return Fingerprint(p)
+}

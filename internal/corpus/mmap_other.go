@@ -1,0 +1,20 @@
+//go:build !unix
+
+package corpus
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap syscall falls back to
+// reading the whole cache into heap: every .warpcorpus keeps working,
+// just without the page-cache residency benefit (documented in the
+// README's "Large corpora" section).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

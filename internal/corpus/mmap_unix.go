@@ -1,0 +1,27 @@
+//go:build unix
+
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned closer unmaps.
+// An empty file maps to an empty slice (mmap of length 0 is an error on
+// most kernels, and there is nothing to map).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("corpus: cache of %d bytes exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: mmap %s: %w", f.Name(), err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,117 @@
+package corpus
+
+import "fmt"
+
+// Provider is the read-only document-access contract every consumer of a
+// corpus (samplers, evaluators, the training orchestrator) works
+// against. The in-memory *Corpus satisfies it trivially; *MappedCorpus
+// satisfies it over a memory-mapped on-disk cache, so the token arrays
+// of a corpus larger than RAM live in page cache instead of heap.
+//
+// Doc returns the tokens of one document as a view into the provider's
+// backing storage: callers must not mutate or retain it across provider
+// lifetime (for a mapped corpus the memory disappears at Close).
+type Provider interface {
+	// NumDocs returns D, the number of documents.
+	NumDocs() int
+	// NumTokens returns T, the total token count.
+	NumTokens() int
+	// NumWords returns V, the vocabulary size.
+	NumWords() int
+	// Doc returns the word ids of document d's tokens, in token order.
+	Doc(d int) []int32
+	// Vocabulary returns the id→surface-form table, or nil when the
+	// corpus carries no vocabulary.
+	Vocabulary() []string
+}
+
+// NumWords implements Provider.
+func (c *Corpus) NumWords() int { return c.V }
+
+// Doc implements Provider.
+func (c *Corpus) Doc(d int) []int32 { return c.Docs[d] }
+
+// Vocabulary implements Provider.
+func (c *Corpus) Vocabulary() []string { return c.Vocab }
+
+// Materialize returns an in-memory *Corpus with the provider's
+// documents. A *Corpus is returned as-is (no copy); anything else is
+// copied document by document — which re-inflates an out-of-core corpus
+// into heap, so callers should reserve it for algorithms that genuinely
+// need [][]int32 (the baseline samplers).
+func Materialize(p Provider) *Corpus {
+	if c, ok := p.(*Corpus); ok {
+		return c
+	}
+	docs := make([][]int32, p.NumDocs())
+	for d := range docs {
+		docs[d] = append([]int32(nil), p.Doc(d)...)
+	}
+	return &Corpus{V: p.NumWords(), Docs: docs, Vocab: p.Vocabulary()}
+}
+
+// StatsOf returns the Table-3 style summary of any provider.
+func StatsOf(p Provider) Stats {
+	return newStats(p.NumDocs(), p.NumTokens(), p.NumWords())
+}
+
+// TermFreqsOf returns Lw for every word of any provider (the column
+// sizes of the paper's topic-assignment matrix X).
+func TermFreqsOf(p Provider) []int {
+	tf := make([]int, p.NumWords())
+	for d, nd := 0, p.NumDocs(); d < nd; d++ {
+		for _, w := range p.Doc(d) {
+			tf[w]++
+		}
+	}
+	return tf
+}
+
+// ValidateProvider checks that every token's word id is within
+// [0, NumWords): the invariant samplers index count arrays by. A
+// *Corpus delegates to its own Validate; a *MappedCorpus was fully
+// validated (checksum and bounds) when opened, so it answers without
+// another O(T) pass.
+func ValidateProvider(p Provider) error {
+	if v, ok := p.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	return checkBounds(p)
+}
+
+// checkBounds is the generic O(T) word-id bounds check.
+func checkBounds(p Provider) error {
+	v := p.NumWords()
+	if v <= 0 {
+		return fmt.Errorf("corpus: V = %d, want > 0", v)
+	}
+	for d, nd := 0, p.NumDocs(); d < nd; d++ {
+		for n, w := range p.Doc(d) {
+			if w < 0 || int(w) >= v {
+				return fmt.Errorf("corpus: doc %d token %d: word id %d out of [0,%d)", d, n, w, v)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildWordMajorOf is BuildWordMajor over any provider: the word-major
+// (CSC) view with per-column entries sorted by document id.
+func BuildWordMajorOf(p Provider) *WordMajor {
+	tf := TermFreqsOf(p)
+	v := p.NumWords()
+	start := make([]int32, v+1)
+	for w := 0; w < v; w++ {
+		start[w+1] = start[w] + int32(tf[w])
+	}
+	docID := make([]int32, p.NumTokens())
+	next := make([]int32, v)
+	copy(next, start[:v])
+	for d, nd := 0, p.NumDocs(); d < nd; d++ {
+		for _, w := range p.Doc(d) {
+			docID[next[w]] = int32(d)
+			next[w]++
+		}
+	}
+	return &WordMajor{Start: start, DocID: docID}
+}

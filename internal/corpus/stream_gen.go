@@ -1,0 +1,116 @@
+// Streaming synthetic-corpus generation: UCI docword output of
+// arbitrary size in O(one document) memory, so CI and tests can
+// synthesize corpora far beyond RAM without checking in fixtures
+// (cmd/lda-gen -uci).
+//
+// The UCI header carries NNZ up front, which a single generative pass
+// cannot know, so the generators walk the (fully seed-determined)
+// generative process twice: pass 1 counts entries, pass 2 emits them.
+// The emitted bytes are identical to WriteUCI over the materialized
+// corpus of the same configuration.
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// docEntryWriter aggregates one document's tokens into sorted
+// (doc, word, count) UCI entry lines, sharing its scratch state across
+// documents. It is the single emission path — WriteUCI (uci.go) and the
+// streaming generators below both go through it, which is what keeps
+// their outputs byte-identical.
+type docEntryWriter struct {
+	counts map[int32]int32
+	words  []int32
+}
+
+func newDocEntryWriter() *docEntryWriter {
+	return &docEntryWriter{counts: map[int32]int32{}, words: make([]int32, 0, 64)}
+}
+
+// distinct returns the number of distinct words in doc (the document's
+// NNZ contribution).
+func (e *docEntryWriter) distinct(doc []int32) int {
+	clear(e.counts)
+	n := 0
+	for _, w := range doc {
+		if e.counts[w] == 0 {
+			n++
+		}
+		e.counts[w]++
+	}
+	return n
+}
+
+// emit writes doc's entries (1-based ids, words ascending) to bw.
+func (e *docEntryWriter) emit(bw *bufio.Writer, d int, doc []int32) error {
+	clear(e.counts)
+	e.words = e.words[:0]
+	for _, w := range doc {
+		if e.counts[w] == 0 {
+			e.words = append(e.words, w)
+		}
+		e.counts[w]++
+	}
+	sortInt32(e.words)
+	for _, w := range e.words {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", d+1, w+1, e.counts[w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamUCI renders a two-pass generative walk as a UCI stream. walk
+// must visit the identical document sequence on every invocation.
+func streamUCI(w io.Writer, d, v int, walk func(visit func(d int, doc []int32)) error) (Stats, error) {
+	e := newDocEntryWriter()
+	nnz, tokens := 0, 0
+	if err := walk(func(_ int, doc []int32) {
+		nnz += e.distinct(doc)
+		tokens += len(doc)
+	}); err != nil {
+		return Stats{}, err
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n%d\n%d\n", d, v, nnz); err != nil {
+		return Stats{}, err
+	}
+	var werr error
+	if err := walk(func(i int, doc []int32) {
+		if werr == nil {
+			werr = e.emit(bw, i, doc)
+		}
+	}); err != nil {
+		return Stats{}, err
+	}
+	if werr != nil {
+		return Stats{}, werr
+	}
+	if err := bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	return newStats(d, tokens, v), nil
+}
+
+// StreamLDAUCI writes a UCI docword stream drawn from the LDA
+// generative process without materializing the corpus: memory stays
+// O(K·V + one document) however large cfg.D is. Output is
+// byte-identical to WriteUCI(GenerateLDA(cfg)).
+func StreamLDAUCI(w io.Writer, cfg SyntheticConfig) (Stats, error) {
+	return streamUCI(w, cfg.D, cfg.V, func(visit func(int, []int32)) error {
+		return visitLDADocs(cfg, visit)
+	})
+}
+
+// StreamZipfUCI is StreamLDAUCI for the Zipf generator: byte-identical
+// to WriteUCI(GenerateZipf(...)) in O(V + one document) memory.
+func StreamZipfUCI(w io.Writer, d, v int, meanLen, s float64, seed uint64) (Stats, error) {
+	return streamUCI(w, d, v, func(visit func(int, []int32)) error {
+		visitZipfDocs(d, v, meanLen, s, seed, visit)
+		return nil
+	})
+}

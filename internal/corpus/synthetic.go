@@ -80,12 +80,17 @@ func imax(a, b int) int {
 	return b
 }
 
-// GenerateLDA draws a corpus from the LDA generative process:
-// φk ~ Dir(β), θd ~ Dir(α), zdn ~ Mult(θd), wdn ~ Mult(φ_zdn).
-// Memory is O(K·V) during generation for the topic alias tables.
-func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) {
+// visitLDADocs runs the LDA generative process — φk ~ Dir(β),
+// θd ~ Dir(α), zdn ~ Mult(θd), wdn ~ Mult(φ_zdn) — calling visit with
+// each document's tokens in order. The token buffer is reused between
+// calls; visitors that keep a document must copy it. The process is
+// fully determined by cfg (including Seed), so two walks with the same
+// cfg visit identical documents — the property the streaming UCI
+// generator's two-pass design relies on. Memory is O(K·V) for the
+// topic alias tables plus one document.
+func visitLDADocs(cfg SyntheticConfig, visit func(d int, doc []int32)) error {
 	if cfg.D <= 0 || cfg.V <= 0 || cfg.K <= 0 || cfg.MeanLen <= 0 {
-		return nil, fmt.Errorf("corpus: invalid synthetic config %+v", cfg)
+		return fmt.Errorf("corpus: invalid synthetic config %+v", cfg)
 	}
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 0.1
@@ -103,9 +108,9 @@ func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) {
 		phi[k] = alias.New(buf)
 	}
 
-	c := &Corpus{V: cfg.V, Docs: make([][]int32, cfg.D)}
 	theta := make([]float64, cfg.K)
 	topicTab := &alias.Table{}
+	var doc []int32
 	for d := 0; d < cfg.D; d++ {
 		r.Dirichlet(cfg.Alpha, theta)
 		topicTab.Build(theta)
@@ -113,12 +118,28 @@ func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) {
 		if n < 1 {
 			n = 1
 		}
-		doc := make([]int32, n)
+		if cap(doc) < n {
+			doc = make([]int32, n)
+		}
+		doc = doc[:n]
 		for i := 0; i < n; i++ {
 			k := topicTab.Draw(r)
 			doc[i] = int32(phi[k].Draw(r))
 		}
-		c.Docs[d] = doc
+		visit(d, doc)
+	}
+	return nil
+}
+
+// GenerateLDA draws a corpus from the LDA generative process.
+// Memory is O(K·V + T); for corpora that should never be materialized
+// use StreamLDAUCI.
+func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) {
+	c := &Corpus{V: cfg.V, Docs: make([][]int32, imax(cfg.D, 0))}
+	if err := visitLDADocs(cfg, func(d int, doc []int32) {
+		c.Docs[d] = append([]int32(nil), doc...)
+	}); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -129,25 +150,38 @@ func GenerateLDA(cfg SyntheticConfig) (*Corpus, error) {
 // (partitioning, cache behaviour) where only the column-size power law
 // matters — the property the paper's Sections 5.2–5.3 analyse.
 func GenerateZipf(d, v int, meanLen float64, s float64, seed uint64) *Corpus {
+	c := &Corpus{V: v, Docs: make([][]int32, d)}
+	visitZipfDocs(d, v, meanLen, s, seed, func(i int, doc []int32) {
+		c.Docs[i] = append([]int32(nil), doc...)
+	})
+	return c
+}
+
+// visitZipfDocs is the Zipf generative walk behind GenerateZipf and the
+// streaming UCI generator; same reuse/determinism contract as
+// visitLDADocs.
+func visitZipfDocs(d, v int, meanLen, s float64, seed uint64, visit func(d int, doc []int32)) {
 	r := rng.New(seed)
 	w := make([]float64, v)
 	for i := range w {
 		w[i] = 1 / math.Pow(float64(i+1), s)
 	}
 	tab := alias.New(w)
-	c := &Corpus{V: v, Docs: make([][]int32, d)}
+	var doc []int32
 	for i := 0; i < d; i++ {
 		n := poisson(r, meanLen)
 		if n < 1 {
 			n = 1
 		}
-		doc := make([]int32, n)
+		if cap(doc) < n {
+			doc = make([]int32, n)
+		}
+		doc = doc[:n]
 		for j := range doc {
 			doc[j] = int32(tab.Draw(r))
 		}
-		c.Docs[i] = doc
+		visit(i, doc)
 	}
-	return c
 }
 
 // poisson draws a Poisson(mean) variate: Knuth's product method for small

@@ -4,9 +4,126 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
+	"math"
 	"strings"
 )
+
+// uciHeader is the three-line UCI bag-of-words preamble.
+type uciHeader struct {
+	D, W, NNZ int
+}
+
+// splitFields parses up to 4 whitespace-separated non-negative integers
+// directly from a line's bytes — the manual splitter that replaces the
+// strings.TrimSpace + strings.Fields + strconv.Atoi pipeline, which
+// allocated a []string and three substrings per entry line. Returns the
+// values, how many fields were found (0 for a blank line; -1 on a
+// malformed field or a fifth field), with zero allocations.
+func splitFields(line []byte, out *[4]int) int {
+	n := 0
+	i := 0
+	for {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i == len(line) {
+			return n
+		}
+		if n == len(out) {
+			return -1 // too many fields
+		}
+		v := 0
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+			c := line[i]
+			if c < '0' || c > '9' || v > math.MaxInt/10 {
+				return -1
+			}
+			v = v*10 + int(c-'0')
+			i++
+		}
+		if i == start {
+			return -1
+		}
+		out[n] = v
+		n++
+	}
+}
+
+// scanUCI drives a streaming parse of the UCI format: it validates the
+// header, hands it to onHeader (which may veto the parse), then calls
+// entry for every (doc, word, count) triple with 1-based ids already
+// range-checked against the header and count >= 1. Memory is bounded by
+// the scanner's line buffer; nothing is materialized. The entry count
+// is checked against the declared NNZ.
+func scanUCI(r io.Reader, onHeader func(uciHeader) error, entry func(doc, word, count int) error) (uciHeader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var hdr uciHeader
+	var f [4]int
+	for i := 0; i < 3; {
+		if !sc.Scan() {
+			return hdr, fmt.Errorf("corpus: truncated UCI header: %w", scanErr(sc))
+		}
+		switch n := splitFields(sc.Bytes(), &f); n {
+		case 0:
+			continue
+		case 1:
+			switch i {
+			case 0:
+				hdr.D = f[0]
+			case 1:
+				hdr.W = f[0]
+			default:
+				hdr.NNZ = f[0]
+			}
+			i++
+		default:
+			return hdr, fmt.Errorf("corpus: UCI header line %d: want one integer, got %q", i+1, sc.Text())
+		}
+	}
+	if hdr.D < 0 || hdr.W <= 0 || hdr.NNZ < 0 {
+		return hdr, fmt.Errorf("corpus: invalid UCI header D=%d W=%d NNZ=%d", hdr.D, hdr.W, hdr.NNZ)
+	}
+	if onHeader != nil {
+		if err := onHeader(hdr); err != nil {
+			return hdr, err
+		}
+	}
+
+	seen := 0
+	for sc.Scan() {
+		n := splitFields(sc.Bytes(), &f)
+		if n == 0 {
+			continue
+		}
+		if n != 3 {
+			return hdr, fmt.Errorf("corpus: UCI entry %q: want 3 integer fields", sc.Text())
+		}
+		doc, word, count := f[0], f[1], f[2]
+		if doc < 1 || doc > hdr.D {
+			return hdr, fmt.Errorf("corpus: doc id %d out of [1,%d]", doc, hdr.D)
+		}
+		if word < 1 || word > hdr.W {
+			return hdr, fmt.Errorf("corpus: word id %d out of [1,%d]", word, hdr.W)
+		}
+		if count < 1 {
+			return hdr, fmt.Errorf("corpus: non-positive count %d", count)
+		}
+		if err := entry(doc, word, count); err != nil {
+			return hdr, err
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, err
+	}
+	if seen != hdr.NNZ {
+		return hdr, fmt.Errorf("corpus: UCI header declares %d entries, found %d", hdr.NNZ, seen)
+	}
+	return hdr, nil
+}
 
 // ReadUCI parses the UCI machine-learning-repository bag-of-words format
 // (the distribution format of the paper's NYTimes and PubMed datasets):
@@ -18,67 +135,25 @@ import (
 //
 // Each (doc, word, count) triple expands to count tokens. Blank lines are
 // ignored. Word and document ids beyond the declared bounds are an error.
+//
+// The whole corpus is materialized in memory; for corpora near or beyond
+// RAM use BuildCache + OpenMapped instead (the -stream path of
+// cmd/warplda-train).
 func ReadUCI(r io.Reader) (*Corpus, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
-	var header [3]int
-	for i := 0; i < 3; {
-		if !sc.Scan() {
-			return nil, fmt.Errorf("corpus: truncated UCI header: %w", scanErr(sc))
-		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		v, err := strconv.Atoi(line)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: UCI header line %d: %v", i+1, err)
-		}
-		header[i] = v
-		i++
-	}
-	d, w, nnz := header[0], header[1], header[2]
-	if d < 0 || w <= 0 || nnz < 0 {
-		return nil, fmt.Errorf("corpus: invalid UCI header D=%d W=%d NNZ=%d", d, w, nnz)
-	}
-
-	c := &Corpus{V: w, Docs: make([][]int32, d)}
-	seen := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		f := strings.Fields(line)
-		if len(f) != 3 {
-			return nil, fmt.Errorf("corpus: UCI entry %q: want 3 fields", line)
-		}
-		doc, err1 := strconv.Atoi(f[0])
-		word, err2 := strconv.Atoi(f[1])
-		count, err3 := strconv.Atoi(f[2])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("corpus: UCI entry %q: non-integer field", line)
-		}
-		if doc < 1 || doc > d {
-			return nil, fmt.Errorf("corpus: doc id %d out of [1,%d]", doc, d)
-		}
-		if word < 1 || word > w {
-			return nil, fmt.Errorf("corpus: word id %d out of [1,%d]", word, w)
-		}
-		if count < 1 {
-			return nil, fmt.Errorf("corpus: non-positive count %d", count)
-		}
-		for i := 0; i < count; i++ {
-			c.Docs[doc-1] = append(c.Docs[doc-1], int32(word-1))
-		}
-		seen++
-	}
-	if err := sc.Err(); err != nil {
+	var c *Corpus
+	_, err := scanUCI(r,
+		func(hdr uciHeader) error {
+			c = &Corpus{V: hdr.W, Docs: make([][]int32, hdr.D)}
+			return nil
+		},
+		func(doc, word, count int) error {
+			for i := 0; i < count; i++ {
+				c.Docs[doc-1] = append(c.Docs[doc-1], int32(word-1))
+			}
+			return nil
+		})
+	if err != nil {
 		return nil, err
-	}
-	if seen != nnz {
-		return nil, fmt.Errorf("corpus: UCI header declares %d entries, found %d", nnz, seen)
 	}
 	return c, nil
 }
@@ -92,37 +167,24 @@ func scanErr(sc *bufio.Scanner) error {
 
 // WriteUCI serializes the corpus in UCI bag-of-words format. Tokens are
 // aggregated into (doc, word, count) triples; within a document, words
-// are emitted in increasing id order.
+// are emitted in increasing id order. It shares docEntryWriter with the
+// streaming generators (stream_gen.go), so WriteUCI over a materialized
+// corpus and StreamLDAUCI/StreamZipfUCI over the same configuration
+// produce identical bytes by construction.
 func WriteUCI(w io.Writer, c *Corpus) error {
-	bw := bufio.NewWriter(w)
+	e := newDocEntryWriter()
 	// First pass: count entries.
 	nnz := 0
-	counts := map[int32]int32{}
 	for _, doc := range c.Docs {
-		clear(counts)
-		for _, word := range doc {
-			counts[word]++
-		}
-		nnz += len(counts)
+		nnz += e.distinct(doc)
 	}
+	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%d\n%d\n%d\n", len(c.Docs), c.V, nnz); err != nil {
 		return err
 	}
-	words := make([]int32, 0, 64)
 	for d, doc := range c.Docs {
-		clear(counts)
-		words = words[:0]
-		for _, word := range doc {
-			if counts[word] == 0 {
-				words = append(words, word)
-			}
-			counts[word]++
-		}
-		sortInt32(words)
-		for _, word := range words {
-			if _, err := fmt.Fprintf(bw, "%d %d %d\n", d+1, word+1, counts[word]); err != nil {
-				return err
-			}
+		if err := e.emit(bw, d, doc); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchUCIBytes renders a mid-sized Zipf corpus once per process.
+var benchUCIBytes []byte
+
+func uciBenchData(b *testing.B) []byte {
+	b.Helper()
+	if benchUCIBytes == nil {
+		c := GenerateZipf(2000, 5000, 100, 1.0, 4)
+		var buf bytes.Buffer
+		if err := WriteUCI(&buf, c); err != nil {
+			b.Fatal(err)
+		}
+		benchUCIBytes = buf.Bytes()
+	}
+	return benchUCIBytes
+}
+
+// BenchmarkReadUCI measures the materializing read path. Before the
+// manual splitter, every entry line cost a strings.Fields []string plus
+// three substrings; now per-entry parsing is allocation-free and the
+// remaining allocations are the corpus itself (Docs growth).
+func BenchmarkReadUCI(b *testing.B) {
+	data := uciBenchData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadUCI(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanUCI measures the parse alone (the BuildCache hot loop):
+// allocations per op should stay flat at the scanner's fixed buffers
+// regardless of corpus size.
+func BenchmarkScanUCI(b *testing.B) {
+	data := uciBenchData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scanUCI(bytes.NewReader(data), nil, func(doc, word, count int) error {
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	var f [4]int
+	cases := []struct {
+		line string
+		n    int
+		want [4]int
+	}{
+		{"", 0, [4]int{}},
+		{"   \t  \r", 0, [4]int{}},
+		{"42", 1, [4]int{42}},
+		{"1 2 3", 3, [4]int{1, 2, 3}},
+		{"  7\t8  9\r", 3, [4]int{7, 8, 9}},
+		{"1 2 3 4", 4, [4]int{1, 2, 3, 4}},
+		{"1 2 3 4 5", -1, [4]int{}},
+		{"1 -2 3", -1, [4]int{}},
+		{"1 2x 3", -1, [4]int{}},
+		{"9999999999999999999", -1, [4]int{}}, // overflow guard
+	}
+	for _, tc := range cases {
+		n := splitFields([]byte(tc.line), &f)
+		if n != tc.n {
+			t.Errorf("splitFields(%q) = %d fields, want %d", tc.line, n, tc.n)
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if f[i] != tc.want[i] {
+				t.Errorf("splitFields(%q)[%d] = %d, want %d", tc.line, i, f[i], tc.want[i])
+			}
+		}
+	}
+}

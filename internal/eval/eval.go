@@ -48,13 +48,14 @@ func (c *lgammaCache) at(n int32) float64 {
 
 // LogJoint computes log p(W, Z | α, β) for symmetric hyper-parameters.
 // z[d][n] is the topic of token n of document d and must be shaped
-// exactly like c.Docs with values in [0, K).
-func LogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64 {
-	if len(z) != len(c.Docs) {
+// exactly like the corpus documents with values in [0, K). c may be any
+// corpus.Provider — in-memory or memory-mapped.
+func LogJoint(c corpus.Provider, z [][]int32, k int, alpha, beta float64) float64 {
+	if len(z) != c.NumDocs() {
 		panic("eval: z shape mismatch")
 	}
 	alphaBar := alpha * float64(k)
-	betaBar := beta * float64(c.V)
+	betaBar := beta * float64(c.NumWords())
 
 	lgA := newLgammaCache(alpha, 1024)
 	lgB := newLgammaCache(beta, 1024)
@@ -68,7 +69,8 @@ func LogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64
 	// per-document cost is O(L_d), not O(K).
 	cd := make([]int32, k)
 	var touched []int32
-	for d, doc := range c.Docs {
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		doc := c.Doc(d)
 		zd := z[d]
 		if len(zd) != len(doc) {
 			panic("eval: z shape mismatch")
@@ -89,19 +91,20 @@ func LogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64
 
 	// Word side: scatter topics into word-major order, then one pass per
 	// word with the same touched-list trick; accumulate C_k along the way.
-	wm := corpus.BuildWordMajor(c)
+	v := c.NumWords()
+	wm := corpus.BuildWordMajorOf(c)
 	topics := make([]int32, c.NumTokens())
-	next := make([]int32, c.V)
-	copy(next, wm.Start[:c.V])
-	for d, doc := range c.Docs {
-		for n, w := range doc {
+	next := make([]int32, v)
+	copy(next, wm.Start[:v])
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		for n, w := range c.Doc(d) {
 			topics[next[w]] = z[d][n]
 			next[w]++
 		}
 	}
 	ck := make([]int64, k)
 	cw := make([]int32, k)
-	for w := 0; w < c.V; w++ {
+	for w := 0; w < v; w++ {
 		col := topics[wm.Start[w]:wm.Start[w+1]]
 		for _, t := range col {
 			if cw[t] == 0 {
@@ -126,9 +129,9 @@ func LogJoint(c *corpus.Corpus, z [][]int32, k int, alpha, beta float64) float64
 // LogJointAsym is LogJoint for an asymmetric document-topic prior: the
 // doc-side terms use per-topic α_k (with ᾱ = Σ α_k); the word side is
 // unchanged.
-func LogJointAsym(c *corpus.Corpus, z [][]int32, alphas []float64, beta float64) float64 {
+func LogJointAsym(c corpus.Provider, z [][]int32, alphas []float64, beta float64) float64 {
 	k := len(alphas)
-	if len(z) != len(c.Docs) {
+	if len(z) != c.NumDocs() {
 		panic("eval: z shape mismatch")
 	}
 	var alphaBar float64
@@ -142,7 +145,8 @@ func LogJointAsym(c *corpus.Corpus, z [][]int32, alphas []float64, beta float64)
 	var ll float64
 	cd := make([]int32, k)
 	var touched []int32
-	for d, doc := range c.Docs {
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		doc := c.Doc(d)
 		zd := z[d]
 		if len(zd) != len(doc) {
 			panic("eval: z shape mismatch")
@@ -165,16 +169,17 @@ func LogJointAsym(c *corpus.Corpus, z [][]int32, alphas []float64, beta float64)
 
 // wordSideLL computes the word-topic portion of the joint likelihood
 // (identical for symmetric and asymmetric α).
-func wordSideLL(c *corpus.Corpus, z [][]int32, k int, beta float64) float64 {
-	betaBar := beta * float64(c.V)
+func wordSideLL(c corpus.Provider, z [][]int32, k int, beta float64) float64 {
+	v := c.NumWords()
+	betaBar := beta * float64(v)
 	lgB := newLgammaCache(beta, 1024)
 	lgBeta := lgamma(beta)
-	wm := corpus.BuildWordMajor(c)
+	wm := corpus.BuildWordMajorOf(c)
 	topics := make([]int32, c.NumTokens())
-	next := make([]int32, c.V)
-	copy(next, wm.Start[:c.V])
-	for d, doc := range c.Docs {
-		for n, w := range doc {
+	next := make([]int32, v)
+	copy(next, wm.Start[:v])
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		for n, w := range c.Doc(d) {
 			topics[next[w]] = z[d][n]
 			next[w]++
 		}
@@ -183,7 +188,7 @@ func wordSideLL(c *corpus.Corpus, z [][]int32, k int, beta float64) float64 {
 	ck := make([]int64, k)
 	cw := make([]int32, k)
 	var touched []int32
-	for w := 0; w < c.V; w++ {
+	for w := 0; w < v; w++ {
 		col := topics[wm.Start[w]:wm.Start[w+1]]
 		for _, t := range col {
 			if cw[t] == 0 {

@@ -63,3 +63,25 @@ func (c *CRCReader) Read(p []byte) (int, error) {
 
 // Sum32 returns the checksum of everything read so far.
 func (c *CRCReader) Sum32() uint32 { return c.CRC.Sum32() }
+
+// CRCWriter hashes exactly the bytes written through it, so a format
+// can emit its body through one writer and trail the checksum without
+// a second pass.
+type CRCWriter struct {
+	W   io.Writer
+	CRC hash.Hash32
+}
+
+// NewCRCWriter returns a CRCWriter over w using CRC32 (IEEE).
+func NewCRCWriter(w io.Writer) *CRCWriter {
+	return &CRCWriter{W: w, CRC: crc32.NewIEEE()}
+}
+
+func (c *CRCWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.CRC.Write(p[:n])
+	return n, err
+}
+
+// Sum32 returns the checksum of everything written so far.
+func (c *CRCWriter) Sum32() uint32 { return c.CRC.Sum32() }

@@ -138,7 +138,7 @@ type Run struct {
 // serialize and SetProgress can restore.
 type Loop struct {
 	Sampler   Sampler
-	Corpus    *corpus.Corpus
+	Corpus    corpus.Provider
 	Cfg       Config
 	EvalEvery int
 
@@ -154,7 +154,9 @@ type Loop struct {
 }
 
 // NewLoop builds a loop over s. evalEvery <= 0 means every iteration.
-func NewLoop(s Sampler, c *corpus.Corpus, cfg Config, evalEvery int) *Loop {
+// c may be any corpus provider — in-memory or memory-mapped — and must
+// be the one s was built over.
+func NewLoop(s Sampler, c corpus.Provider, cfg Config, evalEvery int) *Loop {
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
@@ -231,7 +233,7 @@ func (l *Loop) Eval(final bool) (Point, bool) {
 // likelihood every evalEvery iterations (and after the last). It is a
 // thin wrapper over Loop; checkpointed / budgeted / interruptible
 // training lives in the internal/train orchestrator.
-func Train(s Sampler, c *corpus.Corpus, cfg Config, iters, evalEvery int) Run {
+func Train(s Sampler, c corpus.Provider, cfg Config, iters, evalEvery int) Run {
 	l := NewLoop(s, c, cfg, evalEvery)
 	for l.Iter < iters {
 		l.Step()

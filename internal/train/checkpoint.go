@@ -70,24 +70,15 @@ type Checkpoint struct {
 // CorpusFingerprint hashes the corpus identity a checkpoint is bound
 // to: dimensions, document lengths, and every token, so resuming
 // against a reordered, truncated, or simply different corpus is caught
-// before any state is restored. O(tokens); callers checkpointing
-// repeatedly should compute it once.
-func CorpusFingerprint(c *corpus.Corpus) uint32 {
-	crc := crc32.NewIEEE()
-	var buf [8]byte
-	put := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		crc.Write(buf[:])
-	}
-	put(int64(c.V))
-	put(int64(len(c.Docs)))
-	for _, doc := range c.Docs {
-		put(int64(len(doc)))
-		for _, w := range doc {
-			put(int64(w))
-		}
-	}
-	return crc.Sum32()
+// before any state is restored. The canonical hash sequence lives in
+// corpus.Fingerprint; an in-memory corpus costs an O(tokens) walk,
+// while a memory-mapped cache answers from its validated header
+// (corpus.Fingerprinted) — resuming against a mapped corpus validates
+// the cache file, not a re-read of the source. Mapped and materialized
+// views of the same corpus fingerprint identically, so checkpoints move
+// freely between the -stream and in-memory paths.
+func CorpusFingerprint(c corpus.Provider) uint32 {
+	return corpus.FingerprintOf(c)
 }
 
 // writeTo serializes the checkpoint envelope — magic, header, then the

@@ -1,0 +1,122 @@
+package train_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"warplda/internal/core"
+	"warplda/internal/corpus"
+	"warplda/internal/train"
+)
+
+// mappedOf streams c through the out-of-core path and returns the
+// mapped view (closed at test cleanup) plus the in-memory read of the
+// same UCI bytes.
+func mappedOf(t *testing.T, c *corpus.Corpus) (*corpus.Corpus, *corpus.MappedCorpus) {
+	t.Helper()
+	var uci bytes.Buffer
+	if err := corpus.WriteUCI(&uci, c); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := corpus.ReadUCI(bytes.NewReader(uci.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train"+corpus.CacheExt)
+	if _, err := corpus.BuildCache(bytes.NewReader(uci.Bytes()), path, corpus.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := corpus.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mapped.Close() })
+	return mem, mapped
+}
+
+// TestMappedFingerprintMatchesInMemory pins the property resume
+// depends on: the fingerprint stored in the cache header (O(1) to
+// read) equals the O(T) walk of the materialized corpus, so
+// checkpoints verify identically against either view.
+func TestMappedFingerprintMatchesInMemory(t *testing.T) {
+	mem, mapped := mappedOf(t, testCorpus(5))
+	if got, want := train.CorpusFingerprint(mapped), train.CorpusFingerprint(mem); got != want {
+		t.Fatalf("mapped fingerprint %08x, in-memory %08x", got, want)
+	}
+}
+
+// TestResumeAgainstMappedCache checkpoints an in-memory run, then
+// resumes it over the memory-mapped cache of the same corpus: the
+// checkpoint's fingerprint validates against the cache header (no
+// source re-read), and the continued run is bit-identical to an
+// uninterrupted in-memory run.
+func TestResumeAgainstMappedCache(t *testing.T) {
+	mem, mapped := mappedOf(t, testCorpus(2))
+	cfg := testCfg(8)
+	const n, total = 6, 12
+
+	full := newWarp(t, mem, cfg)
+	fullRes, err := train.Run(full, mem, cfg, train.Options{Iters: total, EvalEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	halfRes, err := train.Run(newWarp(t, mem, cfg), mem, cfg, train.Options{
+		Iters: n, EvalEvery: 3, CheckpointDir: dir, CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := train.Load(halfRes.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := core.New(mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRes, err := train.Run(resumed, mapped, cfg, train.Options{
+		Iters: total, EvalEvery: 3, ResumeFrom: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resRes.Completed || resRes.Iter != total {
+		t.Fatalf("resumed run: completed=%v iter=%d", resRes.Completed, resRes.Iter)
+	}
+	sameTrace(t, resRes.Run, fullRes.Run)
+	if !reflect.DeepEqual(resumed.Assignments(), full.Assignments()) {
+		t.Fatal("assignments of mapped-resumed run differ from uninterrupted in-memory run")
+	}
+}
+
+// A checkpoint from one corpus must be refused against the mapped cache
+// of a different corpus — same gate as the in-memory path.
+func TestResumeRejectsForeignMappedCache(t *testing.T) {
+	mem, _ := mappedOf(t, testCorpus(3))
+	_, otherMapped := mappedOf(t, testCorpus(4))
+	cfg := testCfg(8)
+
+	dir := t.TempDir()
+	res, err := train.Run(newWarp(t, mem, cfg), mem, cfg, train.Options{
+		Iters: 3, CheckpointDir: dir, CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := train.Load(res.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(otherMapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(s, otherMapped, cfg, train.Options{Iters: 6, ResumeFrom: ck}); err == nil {
+		t.Fatal("resume against a foreign mapped cache was not refused")
+	}
+}

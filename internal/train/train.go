@@ -92,9 +92,11 @@ type Result struct {
 
 // Run trains s on c until opts.Iters iterations complete, the budget is
 // exhausted, or a stop is requested — checkpointing along the way when
-// configured. The returned Result is valid (trace so far, stop reason)
-// for every non-error return.
-func Run(s sampler.Sampler, c *corpus.Corpus, cfg sampler.Config, opts Options) (Result, error) {
+// configured. c may be any corpus provider (in-memory, or the mapped
+// out-of-core cache) and must be the corpus s was built over. The
+// returned Result is valid (trace so far, stop reason) for every
+// non-error return.
+func Run(s sampler.Sampler, c corpus.Provider, cfg sampler.Config, opts Options) (Result, error) {
 	if opts.Iters <= 0 {
 		return Result{}, fmt.Errorf("train: Iters = %d, want > 0", opts.Iters)
 	}

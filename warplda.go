@@ -32,6 +32,23 @@ import (
 // Corpus is a tokenized bag-of-words document collection.
 type Corpus = corpus.Corpus
 
+// CorpusProvider is the read-only document-access interface every
+// training entry point accepts: *Corpus (in-memory) and *MappedCorpus
+// (memory-mapped out-of-core cache) both satisfy it.
+type CorpusProvider = corpus.Provider
+
+// MappedCorpus is a corpus memory-mapped from a .warpcorpus cache file:
+// its token array lives in page cache, so corpus size is bounded by
+// disk, not RAM.
+type MappedCorpus = corpus.MappedCorpus
+
+// CorpusStreamOptions tunes the streaming cache builder; CorpusCacheInfo
+// describes a built or opened cache.
+type (
+	CorpusStreamOptions = corpus.StreamOptions
+	CorpusCacheInfo     = corpus.CacheInfo
+)
+
 // Stats summarizes a corpus (D, T, V, T/D).
 type Stats = corpus.Stats
 
@@ -68,8 +85,38 @@ func GenerateZipf(d, v int, meanLen, s float64, seed uint64) *Corpus {
 	return corpus.GenerateZipf(d, v, meanLen, s, seed)
 }
 
-// ReadUCI parses the UCI bag-of-words format.
+// ReadUCI parses the UCI bag-of-words format, materializing the corpus
+// in memory. For corpora near or beyond RAM, use BuildCorpusCache +
+// OpenMappedCorpus (the -stream path of cmd/warplda-train).
 func ReadUCI(r io.Reader) (*Corpus, error) { return corpus.ReadUCI(r) }
+
+// BuildCorpusCache streams a UCI docword file into a .warpcorpus cache
+// in bounded memory (token and doc-boundary arrays spill to disk as
+// they are parsed; the final file is CRC32-trailed and atomically
+// renamed). Entries must carry non-decreasing doc ids, the order UCI
+// distributions ship in.
+func BuildCorpusCache(docword io.Reader, cachePath string, opts CorpusStreamOptions) (*CorpusCacheInfo, error) {
+	return corpus.BuildCache(docword, cachePath, opts)
+}
+
+// OpenMappedCorpus maps a .warpcorpus cache read-only, verifying its
+// checksum and every structural invariant before returning.
+func OpenMappedCorpus(path string) (*MappedCorpus, error) { return corpus.OpenMapped(path) }
+
+// CorpusCachePath returns the conventional cache path for a docword
+// source file: <cacheDir>/<base(source)>.warpcorpus (cacheDir ""
+// means the source's directory).
+func CorpusCachePath(sourcePath, cacheDir string) string {
+	return corpus.CachePathFor(sourcePath, cacheDir)
+}
+
+// MaterializeCorpus copies any provider into an in-memory *Corpus (a
+// *Corpus is returned as-is). The baseline samplers need it; WarpLDA
+// and the evaluator work on any provider directly.
+func MaterializeCorpus(p CorpusProvider) *Corpus { return corpus.Materialize(p) }
+
+// CorpusStats summarizes any provider the way Corpus.Stats does.
+func CorpusStats(p CorpusProvider) Stats { return corpus.StatsOf(p) }
 
 // WriteUCI serializes a corpus in UCI bag-of-words format.
 func WriteUCI(w io.Writer, c *Corpus) error { return corpus.WriteUCI(w, c) }
@@ -98,27 +145,31 @@ const (
 // Algorithms lists the paper's comparison-set sampler names.
 var Algorithms = []string{WarpLDA, CGS, SparseLDA, AliasLDA, FPlusLDA, LightLDA}
 
-// NewSampler constructs the named inference algorithm over c.
-func NewSampler(name string, c *Corpus, cfg Config) (Sampler, error) {
+// NewSampler constructs the named inference algorithm over c. WarpLDA
+// runs against any provider — including a mapped out-of-core corpus —
+// directly; the baselines and the sharded sampler index [][]int32
+// internally, so a non-*Corpus provider is materialized into heap for
+// them (use warplda with -stream corpora to stay out-of-core).
+func NewSampler(name string, c CorpusProvider, cfg Config) (Sampler, error) {
 	switch name {
 	case WarpLDA:
 		return core.New(c, cfg)
 	case CGS:
-		return baselines.NewCGS(c, cfg)
+		return baselines.NewCGS(corpus.Materialize(c), cfg)
 	case SparseLDA:
-		return baselines.NewSparseLDA(c, cfg)
+		return baselines.NewSparseLDA(corpus.Materialize(c), cfg)
 	case AliasLDA:
-		return baselines.NewAliasLDA(c, cfg)
+		return baselines.NewAliasLDA(corpus.Materialize(c), cfg)
 	case FPlusLDA:
-		return baselines.NewFPlusLDA(c, cfg)
+		return baselines.NewFPlusLDA(corpus.Materialize(c), cfg)
 	case LightLDA:
-		return baselines.NewLightLDA(c, cfg, baselines.LightLDAOptions{})
+		return baselines.NewLightLDA(corpus.Materialize(c), cfg, baselines.LightLDAOptions{})
 	case Distributed:
 		workers := cfg.Threads
 		if workers < 1 {
 			workers = 1
 		}
-		return cluster.NewDistributed(c, cfg, workers)
+		return cluster.NewDistributed(corpus.Materialize(c), cfg, workers)
 	default:
 		return nil, fmt.Errorf("warplda: unknown algorithm %q (have %v)", name, append(Algorithms, Distributed))
 	}
@@ -135,7 +186,7 @@ func NewDistributed(c *Corpus, cfg Config, workers int) (Sampler, error) {
 
 // TrainSampler runs iters iterations of s, evaluating log-likelihood
 // every evalEvery iterations, and returns the convergence trace.
-func TrainSampler(s Sampler, c *Corpus, cfg Config, iters, evalEvery int) Run {
+func TrainSampler(s Sampler, c CorpusProvider, cfg Config, iters, evalEvery int) Run {
 	return sampler.Train(s, c, cfg, iters, evalEvery)
 }
 
@@ -159,7 +210,7 @@ type Checkpoint = train.Checkpoint
 // checkpoints along the way. A run resumed from one of its checkpoints
 // (opts.ResumeFrom) produces bit-identical assignments and
 // log-likelihood trace to a run that was never interrupted.
-func TrainCheckpointed(s Sampler, c *Corpus, cfg Config, opts TrainOptions) (TrainResult, error) {
+func TrainCheckpointed(s Sampler, c CorpusProvider, cfg Config, opts TrainOptions) (TrainResult, error) {
 	return train.Run(s, c, cfg, opts)
 }
 
@@ -176,7 +227,7 @@ func PublishModelPath(spec string) (path, name string, err error) {
 
 // LogLikelihood computes log p(W, Z | α, β) for the sampler's current
 // state.
-func LogLikelihood(c *Corpus, s Sampler, cfg Config) float64 {
+func LogLikelihood(c CorpusProvider, s Sampler, cfg Config) float64 {
 	return eval.LogJoint(c, s.Assignments(), cfg.K, cfg.Alpha, cfg.Beta)
 }
 
@@ -209,18 +260,21 @@ func Train(c *Corpus, cfg Config, iters int) (*Model, error) {
 	return Snapshot(c, s, cfg), nil
 }
 
-// Snapshot extracts a Model from any sampler's current state.
-func Snapshot(c *Corpus, s Sampler, cfg Config) *Model {
+// Snapshot extracts a Model from any sampler's current state. c may be
+// any provider; a mapped corpus carries no vocabulary, so set
+// Model.Vocab afterwards when one was loaded separately.
+func Snapshot(c CorpusProvider, s Sampler, cfg Config) *Model {
+	v := c.NumWords()
 	m := &Model{
 		Cfg:   cfg,
-		V:     c.V,
-		Vocab: c.Vocab,
-		Cw:    make([]int32, c.V*cfg.K),
+		V:     v,
+		Vocab: c.Vocabulary(),
+		Cw:    make([]int32, v*cfg.K),
 		Ck:    make([]int64, cfg.K),
 	}
 	z := s.Assignments()
-	for d, doc := range c.Docs {
-		for n, w := range doc {
+	for d, nd := 0, c.NumDocs(); d < nd; d++ {
+		for n, w := range c.Doc(d) {
 			t := z[d][n]
 			m.Cw[int(w)*cfg.K+int(t)]++
 			m.Ck[t]++
