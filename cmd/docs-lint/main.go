@@ -1,0 +1,241 @@
+// Command docs-lint is the repository's documentation gate, run by CI.
+// It has two checks and no dependencies outside the standard library:
+//
+//   - Markdown link check (-md): every relative link or image target in
+//     the given markdown files/directories must exist on disk (query
+//     strings and #fragments are stripped; http(s), mailto and pure
+//     #fragment links are skipped). Dead relative links are exactly the
+//     rot a format-spec document like docs/FORMATS.md accumulates when
+//     files move.
+//
+//   - Godoc check (-godoc): the named packages (Go import patterns
+//     resolved via `go list`-free directory walking of the given dirs)
+//     must have a package comment, and every exported top-level
+//     identifier must carry a doc comment. This is the `revive`-style
+//     exported-ident rule, enforced without pulling in a linter
+//     dependency.
+//
+// Usage:
+//
+//	docs-lint -md README.md -md docs -md ROADMAP.md
+//	docs-lint -godoc internal/cluster -godoc internal/train
+//
+// Exit status 0 when clean, 1 with findings (one per line), 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set appends one occurrence of the flag.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var md, godoc multiFlag
+	flag.Var(&md, "md", "markdown file or directory to link-check (repeatable)")
+	flag.Var(&godoc, "godoc", "package directory to doc-comment-check (repeatable)")
+	flag.Parse()
+	if len(md) == 0 && len(godoc) == 0 {
+		fmt.Fprintln(os.Stderr, "docs-lint: nothing to do (pass -md and/or -godoc)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var findings []string
+	for _, root := range md {
+		fs, err := checkMarkdown(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docs-lint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, dir := range godoc {
+		fs, err := checkGodoc(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docs-lint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "docs-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// linkRE matches inline markdown links/images [text](target) — enough
+// for this repository's documents; reference-style links are not used.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdown link-checks one file, or every *.md under a directory.
+func checkMarkdown(root string) ([]string, error) {
+	st, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if st.IsDir() {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		files = []string{root}
+	}
+	var findings []string
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if target == "" || strings.HasPrefix(target, "#") ||
+					strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				// Strip fragment and query.
+				if j := strings.IndexAny(target, "#?"); j >= 0 {
+					target = target[:j]
+				}
+				if target == "" {
+					continue
+				}
+				var resolved string
+				switch {
+				case strings.HasPrefix(target, "/"):
+					// Root-relative, the way GitHub renders it: against the
+					// repository root (the lint's working directory), never
+					// the machine's filesystem root.
+					resolved = filepath.Join(".", target)
+				default:
+					resolved = filepath.Join(filepath.Dir(file), target)
+				}
+				// Targets that climb out of the repository (e.g. GitHub's
+				// ../../actions/... badge paths) are web-UI routes, not
+				// files this checker can know about.
+				if rel, err := filepath.Rel(".", resolved); err == nil && (rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator))) {
+					continue
+				}
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: dead relative link %q", file, i+1, m[1]))
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkGodoc parses every non-test Go file in dir (one package) and
+// reports a missing package comment and exported top-level identifiers
+// without doc comments.
+func checkGodoc(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				findings = append(findings, checkDecl(fset, name, decl)...)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkDecl reports exported names declared by decl that lack a doc
+// comment. Grouped var/const/type specs inherit the group's comment:
+// one comment on the block satisfies every exported name inside it,
+// matching how godoc renders them.
+func checkDecl(fset *token.FileSet, file string, decl ast.Decl) []string {
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", file, p.Line)
+	}
+	var findings []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && !unexportedRecv(d) {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			findings = append(findings, fmt.Sprintf("%s: exported %s %s has no doc comment", pos(d), kind, d.Name.Name))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					findings = append(findings, fmt.Sprintf("%s: exported type %s has no doc comment", pos(s), s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						findings = append(findings, fmt.Sprintf("%s: exported %s has no doc comment", pos(n), n.Name))
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// unexportedRecv reports whether decl is a method on an unexported
+// receiver type — godoc never renders those, so an exported method name
+// there (a Write satisfying io.Writer, say) needs no doc comment.
+func unexportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "FORMATS.md"), "see [arch](ARCHITECTURE.md) and [readme](../README.md)\n")
+	write(t, filepath.Join(dir, "docs", "ARCHITECTURE.md"), "ok\n")
+	write(t, filepath.Join(dir, "README.md"), strings.Join([]string{
+		"[good](docs/FORMATS.md)",
+		"[anchor](docs/FORMATS.md#layout)",
+		"[web](https://example.com/x.md)",
+		"[frag](#section)",
+		"![badge](../../actions/workflows/ci.yml/badge.svg)", // escapes the repo: skipped
+		"[rooted](/docs/ARCHITECTURE.md)",                    // root-relative: repo root, not filesystem root
+		"[dead](docs/NOPE.md)",
+	}, "\n"))
+
+	// The checker resolves repo-escape relative to the process CWD.
+	old, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	findings, err := checkMarkdown(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "NOPE.md") {
+		t.Fatalf("findings = %q, want exactly the dead NOPE.md link", findings)
+	}
+}
+
+func TestCheckGodoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), `// Package demo is documented.
+package demo
+
+// Documented is fine.
+const Documented = 1
+
+// Exported is fine.
+func Exported() {}
+
+func Undocumented() {}
+
+type hidden struct{}
+
+func (hidden) Write() {}
+
+type Missing struct{}
+`)
+	findings, err := checkGodoc(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f)
+	}
+	if len(got) != 2 {
+		t.Fatalf("findings = %q, want Undocumented + Missing", got)
+	}
+	if !strings.Contains(got[0], "Undocumented") && !strings.Contains(got[1], "Undocumented") {
+		t.Fatalf("Undocumented not flagged: %q", got)
+	}
+	if !strings.Contains(got[0], "Missing") && !strings.Contains(got[1], "Missing") {
+		t.Fatalf("type Missing not flagged: %q", got)
+	}
+
+	nodoc := t.TempDir()
+	write(t, filepath.Join(nodoc, "b.go"), "package nodoc\n")
+	findings, err = checkGodoc(nodoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "package comment") {
+		t.Fatalf("findings = %q, want the missing package comment", findings)
+	}
+}

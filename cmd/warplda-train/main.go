@@ -9,8 +9,9 @@
 //	    -algo warplda -topics 1000 -m 2 -iters 300 -eval-every 10
 //
 // Long runs are restartable: with -checkpoint-dir the trainer writes a
-// CRC-checksummed, atomically-renamed snapshot of its complete state
-// every -checkpoint-every iterations, and SIGINT/SIGTERM make it finish
+// CRC-checksummed, atomically-renamed, iteration-stamped snapshot of
+// its complete state every -checkpoint-every iterations (keeping the
+// newest -checkpoint-keep of them), and SIGINT/SIGTERM make it finish
 // the current iteration, checkpoint, and exit (status 3) instead of
 // dying mid-pass. A later invocation with -resume continues the run
 // bit-identically — same assignments, same log-likelihood trace — as if
@@ -20,6 +21,16 @@
 //	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/
 //	^C (or kubectl delete pod, spot preemption, ...)
 //	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/ -resume ckpt/
+//
+// The distributed sampler checkpoints *sharded*: each worker writes its
+// own shard file, bound by a CRC-trailed manifest (docs/FORMATS.md),
+// and resume is elastic — a checkpoint written at one -threads count
+// resumes at another, repartitioning the state and deterministically
+// reseeding the worker RNG streams (bit-identical when the count
+// matches, statistically equivalent and explicitly logged when not):
+//
+//	warplda-train -corpus c.uci -algo distributed -threads 3 -checkpoint-dir ckpt/
+//	warplda-train -corpus c.uci -algo distributed -threads 5 -checkpoint-dir ckpt/ -resume ckpt/
 //
 // Corpora larger than RAM train with -stream: the docword file is
 // parsed once in bounded memory (-max-resident-mb) into a checksummed
@@ -33,11 +44,12 @@
 //
 // A model saved with -save is the snapshot cmd/warplda-serve loads,
 // written in the versioned, CRC32-checksummed format (WARPLDA v2) via
-// temp-file + atomic rename. -publish <model-dir>/<name> drops the same
-// snapshot into a warplda-serve model directory under the name the
-// registry serves it as, so a running server's hot-reload picks the new
-// model up without a restart — the full train→serve pipeline in one
-// flag.
+// temp-file + atomic rename. -publish <model-dir>/<name> installs the
+// snapshot into a warplda-serve model directory twice over: as the
+// pinned version <name>@<iter>.bin (servable forever, the rollback
+// target) and as the bare <name> via an atomically-swapped "latest"
+// pointer, so a running server's hot-reload picks the new model up
+// without a restart — the full train→serve pipeline in one flag.
 //
 // Exit status: 0 on completion, 1 on errors, 2 on usage errors, 3 when
 // interrupted or over budget (checkpoint written if -checkpoint-dir was
@@ -49,6 +61,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -60,17 +73,18 @@ func main() { os.Exit(run()) }
 // trainFlags carries the flag values validateFlags checks (split out so
 // the validation is unit-testable).
 type trainFlags struct {
-	corpusPath    string
-	algo          string
-	topics        int
-	m             int
-	iters         int
-	threads       int
-	budget        time.Duration
-	publish       string
-	stream        bool
-	corpusCache   string
-	maxResidentMB int
+	corpusPath     string
+	algo           string
+	topics         int
+	m              int
+	iters          int
+	threads        int
+	budget         time.Duration
+	publish        string
+	stream         bool
+	corpusCache    string
+	maxResidentMB  int
+	checkpointKeep int
 }
 
 // validateFlags rejects configurations that would previously misbehave
@@ -97,6 +111,9 @@ func validateFlags(f trainFlags) error {
 	}
 	if f.maxResidentMB < 0 {
 		return fmt.Errorf("-max-resident-mb = %d, want >= 0", f.maxResidentMB)
+	}
+	if f.checkpointKeep < 1 {
+		return fmt.Errorf("-checkpoint-keep = %d, want >= 1", f.checkpointKeep)
 	}
 	if !f.stream && (f.corpusCache != "" || f.maxResidentMB != 0) {
 		return fmt.Errorf("-corpus-cache and -max-resident-mb only apply with -stream")
@@ -131,6 +148,7 @@ func run() int {
 		savePath   = flag.String("save", "", "write the trained model snapshot here (for warplda-serve)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write resumable checkpoints into this directory")
 		ckptEvery  = flag.Int("checkpoint-every", 10, "checkpoint interval in iterations (<= 0: only at interruption and completion)")
+		ckptKeep   = flag.Int("checkpoint-keep", 1, "keep the newest N iteration-stamped checkpoints (older ones are deleted after each successful checkpoint)")
 		resumePath = flag.String("resume", "", "resume from this checkpoint file (or its directory); reuses the checkpoint's configuration — pass the same -algo")
 		publish    = flag.String("publish", "", "after training, atomically install the model as <model-dir>/<name> for a running warplda-serve")
 		budget     = flag.Duration("budget", 0, "wall-clock sampling budget (e.g. 2h30m); 0 = none")
@@ -144,6 +162,7 @@ func run() int {
 		corpusPath: *corpusPath, algo: *algo, topics: *topics, m: *m,
 		iters: *iters, threads: *threads, budget: *budget, publish: *publish,
 		stream: *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
+		checkpointKeep: *ckptKeep,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
 		flag.Usage()
@@ -205,9 +224,12 @@ func run() int {
 		// Unset flags inherit its values; a hyper-parameter flag that was
 		// explicitly set AND disagrees with the checkpoint is rejected —
 		// silently training with different values than the user asked for
-		// would be worse than an error.
+		// would be worse than an error. The one sanctioned exception is
+		// -threads against a *sharded* checkpoint: worker topology is
+		// exactly what elastic resume may change.
 		set := map[string]bool{}
 		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+		elasticThreads := set["threads"] && *threads != ck.Cfg.Threads && ck.IsSharded()
 		for _, conflict := range []struct {
 			flag string
 			bad  bool
@@ -217,18 +239,25 @@ func run() int {
 			{"topics", *topics != ck.Cfg.K, *topics, ck.Cfg.K},
 			{"m", *m != ck.Cfg.M, *m, ck.Cfg.M},
 			{"seed", *seed != ck.Cfg.Seed, *seed, ck.Cfg.Seed},
-			{"threads", *threads != ck.Cfg.Threads, *threads, ck.Cfg.Threads},
+			{"threads", *threads != ck.Cfg.Threads && !elasticThreads, *threads, ck.Cfg.Threads},
 		} {
 			if set[conflict.flag] && conflict.bad {
-				return fatal(fmt.Errorf("-%s %v conflicts with the checkpoint's %v; drop the flag to resume (checkpoints carry their hyper-parameters)",
+				return fatal(fmt.Errorf("-%s %v conflicts with the checkpoint's %v; drop the flag to resume (checkpoints carry their hyper-parameters; -threads may change only against sharded checkpoints)",
 					conflict.flag, conflict.got, conflict.want))
 			}
 		}
 		cfg = ck.Cfg
+		if elasticThreads {
+			cfg.Threads = *threads
+		}
 		resume = ck
 		fmt.Printf("resuming %s from iteration %d (%s sampling time so far; K=%d M=%d seed=%d threads=%d)\n",
 			ck.Sampler, ck.Iter, ck.Elapsed.Round(time.Millisecond),
 			cfg.K, cfg.M, cfg.Seed, cfg.Threads)
+		if elasticThreads {
+			fmt.Fprintf(os.Stderr, "warplda-train: elastic resume: checkpoint has %d workers, run uses %d; state will be rebalanced\n",
+				ck.Cfg.Threads, cfg.Threads)
+		}
 	}
 
 	s, err := warplda.NewSampler(*algo, c, cfg)
@@ -238,9 +267,20 @@ func run() int {
 
 	// Create the checkpoint directory up front: discovering it is
 	// missing at the first mid-run checkpoint would abort the run and
-	// lose the progress the flag existed to protect.
+	// lose the progress the flag existed to protect. Same for the
+	// publish target's directory — failing after hours of training
+	// because the model dir was never created would waste the run.
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fatal(err)
+		}
+	}
+	if *publish != "" {
+		path, _, err := warplda.PublishModelPath(*publish)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return fatal(err)
 		}
 	}
@@ -263,9 +303,13 @@ func run() int {
 		EvalEvery:       *evalEvery,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
 		Budget:          *budget,
 		Stop:            stop,
 		ResumeFrom:      resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "warplda-train: "+format+"\n", args...)
+		},
 		Progress: func(ev warplda.TrainEvent) {
 			if p := ev.Eval; p != nil {
 				fmt.Printf("iter %4d  logLik %.6e  time %8.2fs  %6.2f Mtoken/s (interval %6.2f)\n",
@@ -293,6 +337,9 @@ func run() int {
 			// still on. Hyper-parameters travel inside the checkpoint.
 			cmd := fmt.Sprintf("warplda-train -corpus %s -algo %s -iters %d -eval-every %d -checkpoint-dir %s -checkpoint-every %d",
 				*corpusPath, *algo, *iters, *evalEvery, *ckptDir, *ckptEvery)
+			if *ckptKeep != 1 {
+				cmd += fmt.Sprintf(" -checkpoint-keep %d", *ckptKeep)
+			}
 			if *vocabPath != "" {
 				cmd += " -vocab " + *vocabPath
 			}
@@ -341,15 +388,28 @@ func run() int {
 		fmt.Printf("model saved to %s (%d bytes, checksummed snapshot v2)\n", *savePath, n)
 	}
 	if *publish != "" {
-		path, name, err := warplda.PublishModelPath(*publish)
+		// The pinned version first (servable forever as <name>@<iter>),
+		// then the atomically-swapped "latest" pointer the bare <name>
+		// follows — the order matters: a crash between the two leaves the
+		// registry serving the previous version, never a missing target.
+		vPath, vName, err := warplda.PublishModelVersionPath(*publish, res.Iter)
 		if err != nil {
 			return fatal(err)
 		}
-		n, err := model.WriteFile(path)
+		n, err := model.WriteFile(vPath)
 		if err != nil {
 			return fatal(err)
 		}
-		fmt.Printf("model published as %q -> %s (%d bytes; a watching warplda-serve hot-reloads it)\n", name, path, n)
+		latest, err := warplda.PublishModelLatest(*publish, res.Iter)
+		if err != nil {
+			return fatal(err)
+		}
+		_, name, err := warplda.PublishModelPath(*publish)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Printf("model published as %q (%d bytes) and as latest %q -> %s (a watching warplda-serve hot-reloads it; roll back by re-pointing %s at an older @version)\n",
+			vName, n, name, vPath, latest)
 	}
 	nTop := *maxTopics
 	if nTop > cfg.K {

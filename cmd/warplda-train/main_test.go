@@ -9,7 +9,7 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	ok := trainFlags{corpusPath: "c.uci", algo: "warplda", topics: 100, m: 2, iters: 10, threads: 1}
+	ok := trainFlags{corpusPath: "c.uci", algo: "warplda", topics: 100, m: 2, iters: 10, threads: 1, checkpointKeep: 1}
 	if err := validateFlags(ok); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
 	}
@@ -27,6 +27,8 @@ func TestValidateFlags(t *testing.T) {
 		{"negative m", func(f *trainFlags) { f.m = -1 }, "-m"},
 		{"zero threads", func(f *trainFlags) { f.threads = 0 }, "-threads"},
 		{"negative budget", func(f *trainFlags) { f.budget = -time.Second }, "-budget"},
+		{"zero checkpoint-keep", func(f *trainFlags) { f.checkpointKeep = 0 }, "-checkpoint-keep"},
+		{"negative checkpoint-keep", func(f *trainFlags) { f.checkpointKeep = -3 }, "-checkpoint-keep"},
 		{"unknown algo", func(f *trainFlags) { f.algo = "vibes" }, "-algo"},
 		{"publish without name", func(f *trainFlags) { f.publish = "justaname" }, "publish"},
 		{"publish with .bin", func(f *trainFlags) { f.publish = "models/news.bin" }, ".bin"},

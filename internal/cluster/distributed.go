@@ -118,8 +118,11 @@ func NewDistributed(c *corpus.Corpus, cfg sampler.Config, p int) (*Distributed, 
 	return d, nil
 }
 
-// Name implements sampler.Sampler.
-func (d *Distributed) Name() string { return fmt.Sprintf("WarpLDA-sharded[%d]", d.p) }
+// Name implements sampler.Sampler. The name deliberately excludes the
+// worker count: a checkpoint written at one topology must be
+// recognizable as the same algorithm when resumed at another (elastic
+// resume, shard.go). The count is observable via NumShards.
+func (d *Distributed) Name() string { return "WarpLDA-sharded" }
 
 // Iterate implements sampler.Sampler: a pipelined word phase streaming
 // its finished blocks to the row owners, then a pipelined doc phase
@@ -470,20 +473,8 @@ func (d *Distributed) RestoreFrom(in io.Reader) error {
 	// The state's (doc, word) multiset must be exactly the corpus —
 	// per-cell in-range checks and the total alone would still accept a
 	// blob that duplicates one cell's token and drops another's.
-	cells := make(map[int64]int32, total)
-	for di, doc := range d.c.Docs {
-		for _, w := range doc {
-			cells[int64(di)<<32|int64(uint32(w))]++
-		}
-	}
-	for _, shard := range byCol {
-		for _, t := range shard {
-			key := int64(t.D)<<32 | int64(uint32(t.W))
-			if cells[key] == 0 {
-				return fmt.Errorf("cluster: state has extra token at cell (%d,%d)", t.D, t.W)
-			}
-			cells[key]--
-		}
+	if err := d.validateTokenMultiset(byCol); err != nil {
+		return err
 	}
 	// ck must match the assignment histogram.
 	count := make([]int32, d.cfg.K)

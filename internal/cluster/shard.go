@@ -1,0 +1,204 @@
+// Per-worker shard serialization and elastic restore for Distributed.
+//
+// StateTo/RestoreFrom (distributed.go) funnel every worker's state
+// through one stream and demand an identical worker count on resume.
+// The methods here implement sampler.Sharded instead: each worker
+// serializes its own token shard — so the checkpoint layer can write P
+// files concurrently — and restore accepts ANY saved worker count,
+// repartitioning the tokens across the current topology. Worker RNG
+// streams survive bit-exactly when the count matches and are reseeded
+// via the documented rng.Derive strategy when it does not.
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"warplda/internal/rng"
+	"warplda/internal/sampler"
+)
+
+// shardStateTag versions the per-shard stream layout written by ShardTo.
+const shardStateTag = "dshd\x01"
+
+// Compile-time check: Distributed supports sharded elastic checkpoints.
+var _ sampler.Sharded = (*Distributed)(nil)
+
+// NumShards implements sampler.Sharded: one shard per worker.
+func (d *Distributed) NumShards() int { return d.p }
+
+// ShardTo implements sampler.Sharded: worker i's token shard (cells and
+// payloads as flat arrays, in shard order) plus its RNG stream. The
+// stream deliberately carries the shard index and total worker count,
+// so a shard file restored into the wrong slot — or mixed in from a
+// checkpoint of a different topology — is rejected by RestoreShards
+// even before the manifest-level checks run. Distinct shards may be
+// written concurrently: ShardTo only reads worker i's state.
+func (d *Distributed) ShardTo(i int, w io.Writer) error {
+	if i < 0 || i >= d.p {
+		return fmt.Errorf("cluster: shard %d of %d", i, d.p)
+	}
+	e := sampler.NewEnc(w)
+	e.Tag(shardStateTag)
+	e.Int(i)
+	e.Int(d.p)
+	e.Int(d.cfg.M)
+	e.RNG(d.workers[i].r)
+	shard := d.byCol[i]
+	e.Int(len(shard))
+	// The three flat sections (docs, words, payloads) are streamed in
+	// bounded chunks rather than materialized: all P shards serialize
+	// concurrently, so per-shard flat copies would cost a full extra
+	// state-sized allocation exactly when checkpointing a state near
+	// the memory ceiling.
+	const chunk = 1 << 15
+	buf := make([]int32, 0, chunk)
+	flush := func() {
+		if len(buf) > 0 {
+			e.RawI32s(buf)
+			buf = buf[:0]
+		}
+	}
+	e.Int(len(shard)) // I32s-compatible length prefix of the docs section
+	for _, t := range shard {
+		if buf = append(buf, t.D); len(buf) == chunk {
+			flush()
+		}
+	}
+	flush()
+	e.Int(len(shard))
+	for _, t := range shard {
+		if buf = append(buf, t.W); len(buf) == chunk {
+			flush()
+		}
+	}
+	flush()
+	e.Int(len(shard) * (d.cfg.M + 1))
+	for _, t := range shard {
+		if len(buf)+len(t.Data) > chunk {
+			flush()
+		}
+		buf = append(buf, t.Data...)
+	}
+	flush()
+	return e.Err()
+}
+
+// RestoreShards implements sampler.Sharded. shards holds the saved
+// per-worker streams in worker order; their count is the topology the
+// checkpoint was written under and may differ from this sampler's.
+// Tokens are validated (ranges, exact corpus multiset) and then
+// repartitioned by the current column partition: with an unchanged
+// worker count that reproduces the saved shards byte for byte (the
+// greedy partition is deterministic in the corpus and worker count),
+// with a changed count it is the rebalancing step. RNG streams are
+// restored exactly when the count matches; otherwise every worker w
+// reseeds from rng.Derive(cfg.Seed, salt, workers, w) and reseeded
+// reports true so the caller can log the loss of bit-exactness. On any
+// error the sampler's prior state is untouched.
+func (d *Distributed) RestoreShards(salt uint64, shards []io.Reader) (reseeded bool, err error) {
+	oldP := len(shards)
+	if oldP < 1 {
+		return false, fmt.Errorf("cluster: restore with %d shards", oldP)
+	}
+	stride := d.cfg.M + 1
+	rngs := make([][4]uint64, oldP)
+	all := make([][]Token, oldP)
+	total := 0
+	for i, r := range shards {
+		dec := sampler.NewDec(r)
+		dec.Tag(shardStateTag)
+		idx := dec.Int()
+		p := dec.Int()
+		m := dec.Int()
+		if dec.Err() == nil && idx != i {
+			return false, fmt.Errorf("cluster: shard in position %d identifies as shard %d (foreign or reordered shard file)", i, idx)
+		}
+		if dec.Err() == nil && p != oldP {
+			return false, fmt.Errorf("cluster: shard %d was written under %d workers, restore supplies %d shards", i, p, oldP)
+		}
+		if dec.Err() == nil && m != d.cfg.M {
+			return false, fmt.Errorf("cluster: shard %d has M=%d, sampler has M=%d", i, m, d.cfg.M)
+		}
+		rngs[i] = dec.RNGState()
+		n := dec.Int()
+		if dec.Err() != nil {
+			return false, dec.Err()
+		}
+		if n < 0 || total+n > d.c.NumTokens() {
+			return false, fmt.Errorf("cluster: shard %d has implausible %d tokens", i, n)
+		}
+		total += n
+		ds := dec.I32sLen("token docs", n)
+		ws := dec.I32sLen("token words", n)
+		payload := dec.I32sLen("token payloads", n*stride)
+		dec.CheckTopics("token payloads", payload, d.cfg.K)
+		if err := dec.Err(); err != nil {
+			return false, err
+		}
+		toks := make([]Token, n)
+		for j := 0; j < n; j++ {
+			di, w := ds[j], ws[j]
+			if di < 0 || int(di) >= d.c.NumDocs() || w < 0 || int(w) >= d.c.V {
+				return false, fmt.Errorf("cluster: shard %d token at cell (%d,%d) outside corpus", i, di, w)
+			}
+			toks[j] = Token{D: di, W: w, Data: payload[j*stride : (j+1)*stride : (j+1)*stride]}
+		}
+		all[i] = toks
+	}
+	if total != d.c.NumTokens() {
+		return false, fmt.Errorf("cluster: shards hold %d tokens, corpus has %d", total, d.c.NumTokens())
+	}
+	if err := d.validateTokenMultiset(all); err != nil {
+		return false, err
+	}
+
+	// Rebalance: route every token to its owner under the CURRENT column
+	// partition. Shard order is preserved within each new owner, so an
+	// unchanged topology reproduces the saved shards exactly.
+	byCol := make([][]Token, d.p)
+	ck := make([]int32, d.cfg.K)
+	for _, toks := range all {
+		for _, t := range toks {
+			owner := d.cols.Assign[t.W]
+			byCol[owner] = append(byCol[owner], t)
+			ck[t.Data[0]]++
+		}
+	}
+
+	d.byCol = byCol
+	copy(d.ck, ck)
+	if oldP == d.p {
+		for i, wk := range d.workers {
+			wk.r.SetState(rngs[i])
+		}
+		return false, nil
+	}
+	for w, wk := range d.workers {
+		wk.r = rng.Derive(d.cfg.Seed, salt, uint64(d.p), uint64(w))
+	}
+	return true, nil
+}
+
+// validateTokenMultiset checks that the tokens' (doc, word) multiset is
+// exactly the corpus — per-cell range checks and the total alone would
+// still accept a state that duplicates one cell's token and drops
+// another's. Shared by RestoreFrom and RestoreShards.
+func (d *Distributed) validateTokenMultiset(shards [][]Token) error {
+	cells := make(map[int64]int32, d.c.NumTokens())
+	for di, doc := range d.c.Docs {
+		for _, w := range doc {
+			cells[int64(di)<<32|int64(uint32(w))]++
+		}
+	}
+	for _, shard := range shards {
+		for _, t := range shard {
+			key := int64(t.D)<<32 | int64(uint32(t.W))
+			if cells[key] == 0 {
+				return fmt.Errorf("cluster: state has extra token at cell (%d,%d)", t.D, t.W)
+			}
+			cells[key]--
+		}
+	}
+	return nil
+}

@@ -55,6 +55,8 @@ func NewCRCReader(r io.Reader) *CRCReader {
 	return &CRCReader{R: r, CRC: crc32.NewIEEE()}
 }
 
+// Read reads from the underlying reader, folding the bytes actually
+// delivered into the checksum.
 func (c *CRCReader) Read(p []byte) (int, error) {
 	n, err := c.R.Read(p)
 	c.CRC.Write(p[:n])
@@ -77,6 +79,8 @@ func NewCRCWriter(w io.Writer) *CRCWriter {
 	return &CRCWriter{W: w, CRC: crc32.NewIEEE()}
 }
 
+// Write writes to the underlying writer, folding the bytes actually
+// written into the checksum.
 func (c *CRCWriter) Write(p []byte) (int, error) {
 	n, err := c.W.Write(p)
 	c.CRC.Write(p[:n])

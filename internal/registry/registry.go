@@ -48,8 +48,12 @@ var (
 )
 
 // nameRE is the set of acceptable model names: path traversal and
-// separators are structurally impossible, not merely rejected.
-var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+// separators are structurally impossible, not merely rejected. '@' is
+// admitted (beyond the first character) so the registry serves the
+// versioned snapshots train-side publishing writes — <name>@<iter>
+// pins one published iteration, while the bare <name> follows the
+// atomically-swapped "latest" pointer.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9.@_-]{0,127}$`)
 
 // Options configure a Registry. The zero value means: unlimited byte
 // budget, no hot-reload polling, default engine options.

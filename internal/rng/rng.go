@@ -180,6 +180,26 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// Derive returns a generator deterministically derived from seed and a
+// sequence of salts. It is the documented reseeding strategy for
+// *elastic* checkpoint resume: when a run restarts with a different
+// worker count, the saved per-worker streams no longer map one-to-one
+// onto workers, so each new worker w of p total resuming at iteration i
+// draws its stream from Derive(seed, i, p, w). The derivation folds
+// every salt through one splitmix64 step (the same mixer New uses), so
+// streams for different (iteration, worker-count, worker) triples are
+// statistically independent of each other and of every Split stream,
+// while identical inputs always yield the identical stream — resuming
+// the same checkpoint into the same topology twice is deterministic.
+func Derive(seed uint64, salts ...uint64) *RNG {
+	x := seed
+	for _, s := range salts {
+		x ^= s + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = splitmix64(&x)
+	}
+	return New(x)
+}
+
 // State returns the generator's four state words. Together with SetState
 // it lets long-running samplers checkpoint and resume their random
 // streams bit-identically: a generator restored from a saved state

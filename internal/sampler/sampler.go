@@ -109,6 +109,36 @@ type Sampler interface {
 	RestoreFrom(r io.Reader) error
 }
 
+// Sharded is implemented by samplers whose mutable state is physically
+// partitioned across workers (the distributed execution model). It is
+// what lets the checkpoint layer write one file per worker concurrently
+// — instead of funnelling every shard through StateTo's single stream —
+// and resume across topology changes.
+//
+// The shard streams written by ShardTo are a complete alternative
+// encoding of the sampler's state: restoring all of them via
+// RestoreShards is equivalent to RestoreFrom of a StateTo blob.
+type Sharded interface {
+	Sampler
+	// NumShards returns the number of state shards (the worker count).
+	NumShards() int
+	// ShardTo serializes shard i's state (its tokens or rows plus the
+	// owning worker's RNG stream). Like StateTo, it must only be called
+	// between Iterate calls. Distinct shards may be written concurrently.
+	ShardTo(i int, w io.Writer) error
+	// RestoreShards replaces the sampler's state with the union of the
+	// given shard streams, written by ShardTo on a sampler of the same
+	// algorithm, corpus, and config over ANY worker count. When the
+	// shard count equals NumShards, every worker adopts its saved RNG
+	// stream and the restore is exact; otherwise the state is
+	// repartitioned across the current topology and worker streams are
+	// reseeded deterministically from (cfg.Seed, salt, worker) — see
+	// rng.Derive — which the returned reseeded flag reports so callers
+	// can surface the loss of bit-exactness. On error the sampler's
+	// prior state is left untouched.
+	RestoreShards(salt uint64, shards []io.Reader) (reseeded bool, err error)
+}
+
 // Point is one evaluation of a training run.
 type Point struct {
 	Iter    int

@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"time"
 
 	"warplda/internal/corpus"
@@ -48,7 +49,13 @@ const (
 	maxTopics      = 1 << 22
 )
 
-// Checkpoint is a resumable training snapshot.
+// Checkpoint is a resumable training snapshot. It comes in two on-disk
+// shapes sharing one envelope (sampler identity, config, loop progress,
+// corpus fingerprint): a single WARPCKPT file whose body ends with the
+// sampler's full serialized state, or — for samplers implementing
+// sampler.Sharded — a directory of per-worker WARPSHRD shard files
+// bound together by a CRC-trailed WARPMANI manifest (see manifest.go
+// and docs/FORMATS.md).
 type Checkpoint struct {
 	// Sampler is the algorithm name (sampler.Sampler.Name) the state
 	// belongs to; resuming into a different algorithm is refused.
@@ -64,8 +71,26 @@ type Checkpoint struct {
 	// checkpoint resumed against a different corpus is refused.
 	Fingerprint uint32
 	// State is the sampler's opaque serialized state (StateTo output).
+	// Nil for sharded checkpoints, whose state lives in the shard files.
 	State []byte
+
+	// Dir is the sharded checkpoint's directory; empty for single-file
+	// checkpoints.
+	Dir string
+	// ShardFiles, ShardSizes and ShardCRCs are the manifest's shard
+	// table: file name (relative to Dir), total byte size, and CRC32
+	// trailer value of each per-worker shard, in worker order. A shard
+	// whose on-disk identity disagrees with this table — truncated,
+	// bit-rotted, or swapped in from another checkpoint — is rejected
+	// before any state reaches the sampler.
+	ShardFiles []string
+	ShardSizes []int64
+	ShardCRCs  []uint32
 }
+
+// IsSharded reports whether the checkpoint's state is split into
+// per-worker shard files bound by a manifest.
+func (ck *Checkpoint) IsSharded() bool { return len(ck.ShardFiles) > 0 }
 
 // CorpusFingerprint hashes the corpus identity a checkpoint is bound
 // to: dimensions, document lengths, and every token, so resuming
@@ -95,20 +120,7 @@ func (ck *Checkpoint) writeTo(w io.Writer, state func(io.Writer) error) (int64, 
 	crc := crc32.NewIEEE()
 	cw := &countWriter{w: io.MultiWriter(bw, crc)}
 	e := sampler.NewEnc(cw)
-	e.Str(ck.Sampler)
-	encodeConfig(e, ck.Cfg)
-	e.Int(ck.Iter)
-	e.Int(int(ck.Elapsed))
-	e.Str(ck.Trace.Sampler)
-	e.Int(len(ck.Trace.Points))
-	for _, p := range ck.Trace.Points {
-		e.Int(p.Iter)
-		e.Int(int(p.Elapsed))
-		e.F64(p.LogLik)
-		e.F64(p.TokensSec)
-		e.F64(p.IntervalTokensSec)
-	}
-	e.U64(uint64(ck.Fingerprint))
+	encodeEnvelope(e, ck)
 	if err := e.Err(); err != nil {
 		return int64(len(ckptMagic)) + cw.n, err
 	}
@@ -159,31 +171,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	cr := fsio.NewCRCReader(br)
 	d := sampler.NewDec(cr)
 	ck := &Checkpoint{}
-	ck.Sampler = d.Str("sampler name", 1<<10)
-	ck.Cfg = decodeConfig(d)
-	ck.Iter = d.Int()
-	ck.Elapsed = time.Duration(d.Int())
-	ck.Trace.Sampler = d.Str("trace sampler name", 1<<10)
-	nPoints := d.Int()
-	// ck.Iter is itself untrusted until the CRC verifies, so the
-	// allocation bound must be a constant: a corrupt count fails here
-	// instead of OOM-ing on make(). Consistency with Iter is re-checked
-	// post-CRC in validateCheckpoint.
-	if d.Err() == nil && (nPoints < 0 || nPoints > maxTracePoints) {
-		return nil, fmt.Errorf("train: corrupt checkpoint: implausible trace length %d", nPoints)
-	}
-	if d.Err() == nil {
-		ck.Trace.Points = make([]sampler.Point, nPoints)
-		for i := range ck.Trace.Points {
-			p := &ck.Trace.Points[i]
-			p.Iter = d.Int()
-			p.Elapsed = time.Duration(d.Int())
-			p.LogLik = d.F64()
-			p.TokensSec = d.F64()
-			p.IntervalTokensSec = d.F64()
-		}
-	}
-	ck.Fingerprint = uint32(d.U64())
+	decodeEnvelope(d, ck)
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("train: corrupt checkpoint: %w", err)
 	}
@@ -211,11 +199,36 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// Load reads a checkpoint from path. A directory is accepted and means
-// its DefaultFileName — the inverse of how the trainer writes.
+// Load reads a checkpoint from path, which may be:
+//
+//   - a WARPCKPT file (including the legacy unstamped DefaultFileName);
+//   - a sharded checkpoint directory (contains ManifestFileName) or its
+//     manifest file directly;
+//   - a checkpoint *collection* directory — what -checkpoint-dir
+//     accumulates under keep-last-N retention — in which case the
+//     newest iteration-stamped checkpoint (single-file or sharded) is
+//     loaded, falling back to the legacy DefaultFileName.
 func Load(path string) (*Checkpoint, error) {
 	if st, err := os.Stat(path); err == nil && st.IsDir() {
-		path = filepath.Join(path, DefaultFileName)
+		if _, err := os.Stat(filepath.Join(path, ManifestFileName)); err == nil {
+			return ReadManifest(path)
+		}
+		entries, err := ListCheckpoints(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 {
+			newest := entries[len(entries)-1]
+			if newest.Sharded {
+				return ReadManifest(newest.Path)
+			}
+			path = newest.Path
+		} else {
+			path = filepath.Join(path, DefaultFileName)
+		}
+	}
+	if filepath.Base(path) == ManifestFileName {
+		return ReadManifest(filepath.Dir(path))
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -233,13 +246,42 @@ func Load(path string) (*Checkpoint, error) {
 // fingerprint, config) triple. It is the gate train.Run applies before
 // restoring any state.
 func (ck *Checkpoint) Verify(samplerName string, fingerprint uint32, cfg sampler.Config) error {
-	if ck.Sampler != samplerName {
+	return ck.verify(samplerName, fingerprint, cfg, false)
+}
+
+// VerifyElastic is Verify for elastic sharded resume: identical except
+// that cfg.Threads may differ from the checkpoint's — the worker
+// topology is exactly what an elastic resume is allowed to change. The
+// shard files themselves still pin the topology they were written
+// under; sampler.Sharded.RestoreShards owns the rebalancing.
+func (ck *Checkpoint) VerifyElastic(samplerName string, fingerprint uint32, cfg sampler.Config) error {
+	return ck.verify(samplerName, fingerprint, cfg, true)
+}
+
+// legacyShardedNameRE matches the distributed sampler's pre-elastic
+// name, which embedded the worker count ("WarpLDA-sharded[3]"). The
+// suffix was dropped so checkpoints survive topology changes; old
+// checkpoints carrying it must stay resumable, so verification strips
+// it before comparing (the state blob itself still pins the worker
+// count — RestoreFrom rejects a mismatch).
+var legacyShardedNameRE = regexp.MustCompile(`^(WarpLDA-sharded)\[\d+\]$`)
+
+func (ck *Checkpoint) verify(samplerName string, fingerprint uint32, cfg sampler.Config, elastic bool) error {
+	ckName := ck.Sampler
+	if m := legacyShardedNameRE.FindStringSubmatch(ckName); m != nil {
+		ckName = m[1]
+	}
+	if ckName != samplerName {
 		return fmt.Errorf("train: checkpoint was written by sampler %q, resuming %q", ck.Sampler, samplerName)
 	}
 	if ck.Fingerprint != fingerprint {
 		return fmt.Errorf("train: checkpoint corpus fingerprint %08x does not match training corpus %08x", ck.Fingerprint, fingerprint)
 	}
-	if !configsEqual(ck.Cfg, cfg) {
+	ckCfg := ck.Cfg
+	if elastic {
+		ckCfg.Threads = cfg.Threads
+	}
+	if !configsEqual(ckCfg, cfg) {
 		return fmt.Errorf("train: checkpoint config %+v does not match run config %+v", ck.Cfg, cfg)
 	}
 	return nil
@@ -265,6 +307,56 @@ func validateCheckpoint(ck *Checkpoint) error {
 		last = p.Iter
 	}
 	return nil
+}
+
+// encodeEnvelope writes the fields shared by both checkpoint shapes —
+// sampler identity, config, loop progress, trace, corpus fingerprint —
+// in the WARPCKPT body order. The manifest (manifest.go) reuses it, so
+// a sharded checkpoint's metadata reads identically to a single file's.
+func encodeEnvelope(e *sampler.Enc, ck *Checkpoint) {
+	e.Str(ck.Sampler)
+	encodeConfig(e, ck.Cfg)
+	e.Int(ck.Iter)
+	e.Int(int(ck.Elapsed))
+	e.Str(ck.Trace.Sampler)
+	e.Int(len(ck.Trace.Points))
+	for _, p := range ck.Trace.Points {
+		e.Int(p.Iter)
+		e.Int(int(p.Elapsed))
+		e.F64(p.LogLik)
+		e.F64(p.TokensSec)
+		e.F64(p.IntervalTokensSec)
+	}
+	e.U64(uint64(ck.Fingerprint))
+}
+
+// decodeEnvelope reads what encodeEnvelope wrote. Errors land in d.
+func decodeEnvelope(d *sampler.Dec, ck *Checkpoint) {
+	ck.Sampler = d.Str("sampler name", 1<<10)
+	ck.Cfg = decodeConfig(d)
+	ck.Iter = d.Int()
+	ck.Elapsed = time.Duration(d.Int())
+	ck.Trace.Sampler = d.Str("trace sampler name", 1<<10)
+	nPoints := d.Int()
+	// ck.Iter is itself untrusted until the CRC verifies, so the
+	// allocation bound must be a constant: a corrupt count fails here
+	// instead of OOM-ing on make(). Consistency with Iter is re-checked
+	// post-CRC in validateCheckpoint.
+	if d.Err() == nil && (nPoints < 0 || nPoints > maxTracePoints) {
+		d.Failf("implausible trace length %d", nPoints)
+	}
+	if d.Err() == nil {
+		ck.Trace.Points = make([]sampler.Point, nPoints)
+		for i := range ck.Trace.Points {
+			p := &ck.Trace.Points[i]
+			p.Iter = d.Int()
+			p.Elapsed = time.Duration(d.Int())
+			p.LogLik = d.F64()
+			p.TokensSec = d.F64()
+			p.IntervalTokensSec = d.F64()
+		}
+	}
+	ck.Fingerprint = uint32(d.U64())
 }
 
 func encodeConfig(e *sampler.Enc, cfg sampler.Config) {

@@ -18,12 +18,13 @@ func writeTestCheckpoint(t *testing.T) ([]byte, *checkpointEnv) {
 	t.Helper()
 	env := &checkpointEnv{c: testCorpus(20), cfg: testCfg(6)}
 	dir := t.TempDir()
-	if _, err := train.Run(newWarp(t, env.c, env.cfg), env.c, env.cfg, train.Options{
+	res, err := train.Run(newWarp(t, env.c, env.cfg), env.c, env.cfg, train.Options{
 		Iters: 3, EvalEvery: 1, CheckpointDir: dir,
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, train.DefaultFileName))
+	raw, err := os.ReadFile(res.CheckpointPath)
 	if err != nil {
 		t.Fatal(err)
 	}

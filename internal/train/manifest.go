@@ -1,0 +1,413 @@
+// Sharded checkpoint format. A sampler implementing sampler.Sharded
+// (the distributed sampler) does not funnel its state through one
+// writer: each worker's shard lands in its own WARPSHRD file, written
+// concurrently, and a WARPMANI manifest — written last, atomically —
+// binds them into one checkpoint. The manifest carries the same
+// envelope as a WARPCKPT file plus a shard table (file name, size,
+// CRC32 of every shard), so resume can validate every shard against
+// the manifest before any state reaches the sampler: a truncated,
+// bit-rotted, or foreign shard file (swapped in from another
+// checkpoint, even a self-consistent one) is rejected by the table,
+// not discovered mid-restore.
+//
+// On-disk layout of one sharded checkpoint at iteration I inside a
+// checkpoint directory:
+//
+//	checkpoint-0000000I/
+//	    shard-000.ckpt      WARPSHRD: shard 0's state, CRC-trailed
+//	    ...
+//	    shard-NNN.ckpt
+//	    manifest.ckpt       WARPMANI: envelope + shard table, CRC-trailed
+//
+// The manifest's atomic rename is the checkpoint's commit point: a
+// crash mid-write leaves a directory without a manifest, which Load
+// ignores and the next retention sweep removes. Single-file samplers
+// use iteration-stamped WARPCKPT files (checkpoint-0000000I.ckpt) in
+// the same directory; both shapes rotate under the keep-last-N policy.
+// Byte-level specifications live in docs/FORMATS.md.
+package train
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+
+	"warplda/internal/fsio"
+	"warplda/internal/sampler"
+)
+
+const (
+	// manifestMagic versions the sharded-checkpoint manifest layout.
+	manifestMagic = "WARPMANI\x01"
+	// shardMagic versions the per-worker shard file layout.
+	shardMagic = "WARPSHRD\x01"
+	// ManifestFileName is the manifest's name inside a sharded
+	// checkpoint directory; its presence is what marks the directory as
+	// a complete checkpoint.
+	ManifestFileName = "manifest.ckpt"
+	// maxShards bounds the decoded shard count before the CRC trailer
+	// has vouched for it (same rationale as maxTracePoints).
+	maxShards = 1 << 16
+)
+
+// stampedPrefix + 8-digit zero-padded iteration is the naming scheme of
+// retained checkpoints: checkpoint-00000042.ckpt (single file) and
+// checkpoint-00000042/ (sharded directory).
+const stampedPrefix = "checkpoint-"
+
+var stampedRE = regexp.MustCompile(`^checkpoint-(\d{8,})(\.ckpt)?$`)
+
+// stampedName returns the single-file checkpoint name for iteration i.
+func stampedName(iter int) string { return fmt.Sprintf("%s%08d.ckpt", stampedPrefix, iter) }
+
+// stampedDirName returns the sharded checkpoint directory name for
+// iteration i.
+func stampedDirName(iter int) string { return fmt.Sprintf("%s%08d", stampedPrefix, iter) }
+
+// shardFileName returns shard i's file name inside a checkpoint
+// directory.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.ckpt", i) }
+
+// CheckpointEntry is one retained checkpoint found in a checkpoint
+// directory.
+type CheckpointEntry struct {
+	// Iter is the iteration the checkpoint was written at.
+	Iter int
+	// Path is the checkpoint file (single-file) or directory (sharded).
+	Path string
+	// Sharded reports the directory shape.
+	Sharded bool
+}
+
+// ListCheckpoints returns dir's iteration-stamped checkpoints sorted by
+// iteration (oldest first). Sharded directories count only when their
+// manifest exists — a directory without one is a torn write, not a
+// checkpoint. The legacy unstamped DefaultFileName is not listed; Load
+// falls back to it when nothing stamped exists.
+func ListCheckpoints(dir string) ([]CheckpointEntry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []CheckpointEntry
+	for _, de := range des {
+		m := stampedRE.FindStringSubmatch(de.Name())
+		if m == nil {
+			continue
+		}
+		iter, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		switch {
+		case de.IsDir() && m[2] == "":
+			if _, err := os.Stat(filepath.Join(path, ManifestFileName)); err != nil {
+				continue // torn: no manifest
+			}
+			out = append(out, CheckpointEntry{Iter: iter, Path: path, Sharded: true})
+		case !de.IsDir() && m[2] == ".ckpt":
+			out = append(out, CheckpointEntry{Iter: iter, Path: path, Sharded: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	return out, nil
+}
+
+// pruneCheckpoints enforces keep-last-N retention in dir after a
+// successful checkpoint at iteration current: all but the newest keep
+// stamped checkpoints are deleted, as are torn sharded directories
+// (no manifest) other than the current iteration's. The checkpoint
+// just written is never deleted. Removal failures are reported but the
+// checkpoint itself already committed, so the caller may choose to
+// continue training.
+func pruneCheckpoints(dir string, keep, current int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := ListCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	rm := func(path string) {
+		if err := os.RemoveAll(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i, e := range entries {
+		if len(entries)-i <= keep || e.Iter == current {
+			continue
+		}
+		rm(e.Path)
+	}
+	// Torn sharded directories: stamped dirs ListCheckpoints skipped.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return firstErr
+	}
+	for _, de := range des {
+		m := stampedRE.FindStringSubmatch(de.Name())
+		if m == nil || !de.IsDir() || m[2] != "" {
+			continue
+		}
+		if iter, err := strconv.Atoi(m[1]); err != nil || iter == current {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, de.Name(), ManifestFileName)); os.IsNotExist(err) {
+			rm(filepath.Join(dir, de.Name()))
+		}
+	}
+	return firstErr
+}
+
+// writeSharded writes one complete sharded checkpoint for sh into
+// <dir>/checkpoint-<iter>/: every shard concurrently through
+// fsio.AtomicWriteFile, then the manifest, atomically, last. It
+// returns the checkpoint directory path.
+func (ck *Checkpoint) writeSharded(dir string, sh sampler.Sharded) (string, error) {
+	ckDir := filepath.Join(dir, stampedDirName(ck.Iter))
+	if err := os.MkdirAll(ckDir, 0o755); err != nil {
+		return "", err
+	}
+	// The directory may already hold a COMPLETE checkpoint of this same
+	// iteration (a resume interrupted before its first new iteration
+	// re-checkpoints at the resume point). Retract its manifest before
+	// touching any shard file: the directory is then properly "torn"
+	// while shards are being replaced, so a crash mid-rewrite can never
+	// leave an old manifest vouching for a mixed shard set.
+	if err := os.Remove(filepath.Join(ckDir, ManifestFileName)); err != nil && !os.IsNotExist(err) {
+		return "", err
+	}
+	p := sh.NumShards()
+	sizes := make([]int64, p)
+	crcs := make([]uint32, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sizes[i], crcs[i], errs[i] = writeShardFile(
+				filepath.Join(ckDir, shardFileName(i)), ck, i, p, sh)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return "", fmt.Errorf("writing shard %d: %w", i, err)
+		}
+	}
+	ck.Dir = ckDir
+	ck.ShardFiles = make([]string, p)
+	for i := range ck.ShardFiles {
+		ck.ShardFiles[i] = shardFileName(i)
+	}
+	ck.ShardSizes = sizes
+	ck.ShardCRCs = crcs
+	if _, err := fsio.AtomicWriteFile(filepath.Join(ckDir, ManifestFileName),
+		".warplda-manifest-*", ck.writeManifestTo); err != nil {
+		return "", fmt.Errorf("writing manifest: %w", err)
+	}
+	return ckDir, nil
+}
+
+// writeShardFile writes one WARPSHRD file: magic, a CRC32-checksummed
+// body (iteration, corpus fingerprint, shard index and count, then the
+// sampler's shard stream), and the CRC trailer. It returns the file's
+// total size and the trailer value — the identity the manifest records.
+func writeShardFile(path string, ck *Checkpoint, i, p int, sh sampler.Sharded) (size int64, crc uint32, err error) {
+	size, err = fsio.AtomicWriteFile(path, ".warplda-shard-*", func(w io.Writer) (int64, error) {
+		if _, err := io.WriteString(w, shardMagic); err != nil {
+			return 0, err
+		}
+		hw := fsio.NewCRCWriter(w)
+		cw := &countWriter{w: hw}
+		e := sampler.NewEnc(cw)
+		e.Int(ck.Iter)
+		e.U64(uint64(ck.Fingerprint))
+		e.Int(i)
+		e.Int(p)
+		if err := e.Err(); err != nil {
+			return 0, err
+		}
+		if err := sh.ShardTo(i, cw); err != nil {
+			return 0, err
+		}
+		crc = hw.Sum32()
+		if err := binary.Write(w, binary.LittleEndian, crc); err != nil {
+			return 0, err
+		}
+		return int64(len(shardMagic)) + cw.n + 4, nil
+	})
+	return size, crc, err
+}
+
+// writeManifestTo serializes the WARPMANI manifest: magic, the shared
+// checkpoint envelope, the shard table, CRC32 trailer.
+func (ck *Checkpoint) writeManifestTo(w io.Writer) (int64, error) {
+	if _, err := io.WriteString(w, manifestMagic); err != nil {
+		return 0, err
+	}
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(w, crc)}
+	e := sampler.NewEnc(cw)
+	encodeEnvelope(e, ck)
+	e.Int(len(ck.ShardFiles))
+	for i, name := range ck.ShardFiles {
+		e.Str(name)
+		e.Int(int(ck.ShardSizes[i]))
+		e.U64(uint64(ck.ShardCRCs[i]))
+	}
+	if err := e.Err(); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return 0, err
+	}
+	return int64(len(manifestMagic)) + cw.n + 4, nil
+}
+
+// WriteManifestFile writes the checkpoint's manifest alone to path
+// (atomically). The trainer writes manifests only through writeSharded
+// — shards first, manifest as the commit point — but recovery tooling
+// (and tests) may need to re-emit a manifest for an existing shard set.
+func (ck *Checkpoint) WriteManifestFile(path string) error {
+	_, err := fsio.AtomicWriteFile(path, ".warplda-manifest-*", ck.writeManifestTo)
+	return err
+}
+
+// ReadManifest loads the sharded checkpoint rooted at dir: the
+// manifest is read and CRC-verified, and every shard file in its table
+// is confirmed to exist with the recorded size. Shard *contents* are
+// verified against the table's CRCs at restore time (RestoreInto),
+// when they are actually read.
+func ReadManifest(dir string) (*Checkpoint, error) {
+	path := filepath.Join(dir, ManifestFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(manifestMagic)+4 || string(raw[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("%s: not a checkpoint manifest (bad magic)", path)
+	}
+	body := raw[len(manifestMagic) : len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%s: manifest checksum mismatch (file %08x, computed %08x): torn or corrupt file", path, want, got)
+	}
+	d := sampler.NewDec(bytes.NewReader(body))
+	ck := &Checkpoint{Dir: dir}
+	decodeEnvelope(d, ck)
+	n := d.Int()
+	if d.Err() == nil && (n < 1 || n > maxShards) {
+		d.Failf("implausible shard count %d", n)
+	}
+	if d.Err() == nil {
+		ck.ShardFiles = make([]string, n)
+		ck.ShardSizes = make([]int64, n)
+		ck.ShardCRCs = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			ck.ShardFiles[i] = d.Str("shard file name", 1<<10)
+			ck.ShardSizes[i] = int64(d.Int())
+			ck.ShardCRCs[i] = uint32(d.U64())
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%s: corrupt manifest: %w", path, err)
+	}
+	if err := validateCheckpoint(ck); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, name := range ck.ShardFiles {
+		// The name must be a bare file name: a manifest must not be able
+		// to point resume at files outside its own checkpoint directory.
+		if name == "" || filepath.Base(name) != name {
+			return nil, fmt.Errorf("%s: shard %d has invalid file name %q", path, i, name)
+		}
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("%s: shard %d missing: %w", path, i, err)
+		}
+		if st.Size() != ck.ShardSizes[i] {
+			return nil, fmt.Errorf("%s: shard %d (%s) is %d bytes, manifest records %d: truncated or foreign shard file",
+				path, i, name, st.Size(), ck.ShardSizes[i])
+		}
+	}
+	return ck, nil
+}
+
+// RestoreInto restores the sharded checkpoint's state into sh,
+// rebalancing across a changed worker count. Every shard file is read
+// and checked — magic, CRC trailer, the manifest's recorded CRC (which
+// catches a self-consistent shard swapped in from a *different*
+// checkpoint), and the header's iteration / corpus fingerprint / shard
+// position — before any state reaches the sampler. It returns whether
+// worker RNG streams were reseeded (worker count changed).
+func (ck *Checkpoint) RestoreInto(sh sampler.Sharded) (reseeded bool, err error) {
+	if !ck.IsSharded() {
+		return false, fmt.Errorf("train: checkpoint is not sharded")
+	}
+	readers := make([]io.Reader, len(ck.ShardFiles))
+	for i := range ck.ShardFiles {
+		body, err := ck.readShardBody(i)
+		if err != nil {
+			return false, fmt.Errorf("train: shard %d (%s): %w", i, ck.ShardFiles[i], err)
+		}
+		readers[i] = bytes.NewReader(body)
+	}
+	return sh.RestoreShards(uint64(ck.Iter), readers)
+}
+
+// readShardBody reads, checksums, and envelope-validates shard i's
+// file, returning the sampler-level shard stream (the body after the
+// shard header, before the CRC trailer).
+func (ck *Checkpoint) readShardBody(i int) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(ck.Dir, ck.ShardFiles[i]))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) != ck.ShardSizes[i] {
+		return nil, fmt.Errorf("%d bytes, manifest records %d: truncated or foreign shard file", len(raw), ck.ShardSizes[i])
+	}
+	if len(raw) < len(shardMagic)+4 || string(raw[:len(shardMagic)]) != shardMagic {
+		return nil, fmt.Errorf("not a checkpoint shard file (bad magic)")
+	}
+	body := raw[len(shardMagic) : len(raw)-4]
+	trailer := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	got := crc32.ChecksumIEEE(body)
+	if got != trailer {
+		return nil, fmt.Errorf("shard checksum mismatch (file %08x, computed %08x): torn or corrupt file", trailer, got)
+	}
+	if got != ck.ShardCRCs[i] {
+		return nil, fmt.Errorf("shard checksum %08x does not match manifest's %08x: foreign shard file", got, ck.ShardCRCs[i])
+	}
+	d := sampler.NewDec(bytes.NewReader(body))
+	iter := d.Int()
+	fp := uint32(d.U64())
+	idx := d.Int()
+	count := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if iter != ck.Iter {
+		return nil, fmt.Errorf("shard written at iteration %d, manifest says %d: foreign shard file", iter, ck.Iter)
+	}
+	if fp != ck.Fingerprint {
+		return nil, fmt.Errorf("shard corpus fingerprint %08x does not match manifest's %08x: foreign shard file", fp, ck.Fingerprint)
+	}
+	if idx != i || count != len(ck.ShardFiles) {
+		return nil, fmt.Errorf("shard identifies as %d of %d, manifest places it at %d of %d: foreign or reordered shard file",
+			idx, count, i, len(ck.ShardFiles))
+	}
+	// The fixed-size shard header: 3 int64s + 1 uint64.
+	return body[4*8:], nil
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"warplda"
 	"warplda/internal/registry"
@@ -112,5 +113,133 @@ func TestPublishServesWithoutRestart(t *testing.T) {
 	}
 	if math.Abs(sum-1) > 1e-9 {
 		t.Fatalf("served inference returned non-distribution (sum %g)", sum)
+	}
+}
+
+// TestVersionedPublishPath pins the path/name scheme of versioned
+// publishing and its guard rails.
+func TestVersionedPublishPath(t *testing.T) {
+	path, name, err := train.VersionedPublishPath("models/news", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("models", "news@120.bin"); path != want || name != "news@120" {
+		t.Fatalf("VersionedPublishPath = (%q, %q), want (%q, %q)", path, name, want, "news@120")
+	}
+	for _, bad := range []struct {
+		spec string
+		iter int
+	}{
+		{"models/news", -1},
+		{"models/news.bin", 5},
+		{"news", 5},
+		{"models/ne@ws", 5}, // '@' is the version separator, not a name character
+	} {
+		if _, _, err := train.VersionedPublishPath(bad.spec, bad.iter); err == nil {
+			t.Errorf("VersionedPublishPath(%q, %d) accepted", bad.spec, bad.iter)
+		}
+	}
+}
+
+// TestVersionedPublishServesAndRollsBack walks the versioned publish
+// lifecycle against a live registry: publish iteration 8 (pinned name
+// + latest pointer), serve both, publish iteration 16, watch the bare
+// name hot-swap to it without a restart, and roll back by serving the
+// still-pinned older version.
+func TestVersionedPublishServesAndRollsBack(t *testing.T) {
+	c := testCorpus(32)
+	cfg := testCfg(6)
+	s := newWarp(t, c, cfg)
+	for i := 0; i < 8; i++ {
+		s.Iterate()
+	}
+	model8 := warplda.Snapshot(c, s, cfg)
+
+	modelDir := t.TempDir()
+	spec := filepath.Join(modelDir, "news")
+	publish := func(m *warplda.Model, iter int) string {
+		t.Helper()
+		vPath, _, err := train.VersionedPublishPath(spec, iter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.WriteFile(vPath); err != nil {
+			t.Fatal(err)
+		}
+		latest, err := train.PublishLatest(spec, iter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	publish(model8, 8)
+
+	reg, err := registry.Open(modelDir, registry.Options{ReloadInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	latest, err := reg.Acquire("news")
+	if err != nil {
+		t.Fatalf("latest pointer not served: %v", err)
+	}
+	pinned, err := reg.Acquire("news@8")
+	if err != nil {
+		t.Fatalf("pinned version not served: %v", err)
+	}
+	if latest.Model.LogLik != pinned.Model.LogLik {
+		t.Fatalf("latest (LL %v) is not version 8 (LL %v)", latest.Model.LogLik, pinned.Model.LogLik)
+	}
+
+	// Train further and publish iteration 16; the open registry must
+	// swap the bare name to it via hot reload, no restart.
+	for i := 0; i < 8; i++ {
+		s.Iterate()
+	}
+	model16 := warplda.Snapshot(c, s, cfg)
+	if model16.LogLik == model8.LogLik {
+		t.Fatal("degenerate test: models 8 and 16 are identical")
+	}
+	publish(model16, 16)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := reg.Acquire("news")
+		if err == nil && snap.Model.LogLik == model16.LogLik {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("latest pointer swap not picked up by hot reload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Rollback: the older pinned version is still there to serve, and
+	// re-pointing latest at it rolls the bare name back.
+	if _, err := reg.Acquire("news@8"); err != nil {
+		t.Fatalf("pinned version lost after a newer publish: %v", err)
+	}
+	if _, err := train.PublishLatest(spec, 8); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		snap, err := reg.Acquire("news")
+		if err == nil && snap.Model.LogLik == model8.LogLik {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rollback not picked up by hot reload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// PublishLatest must refuse to install a pointer to a snapshot that
+// was never written.
+func TestPublishLatestRequiresSnapshot(t *testing.T) {
+	if _, err := train.PublishLatest(filepath.Join(t.TempDir(), "news"), 7); err == nil {
+		t.Fatal("latest pointer installed without its target")
 	}
 }

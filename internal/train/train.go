@@ -16,11 +16,14 @@ package train
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"regexp"
 	"time"
 
 	"warplda/internal/corpus"
+	"warplda/internal/fsio"
 	"warplda/internal/sampler"
 )
 
@@ -42,6 +45,19 @@ type Options struct {
 	// with a CheckpointDir means checkpoints are written only at
 	// interruption, budget exhaustion, and completion.
 	CheckpointEvery int
+	// CheckpointKeep is the keep-last-N retention bound on
+	// iteration-stamped checkpoints in CheckpointDir: after every
+	// successful checkpoint, older ones beyond the newest N are
+	// deleted. <= 0 means 1 (only the newest survives — the disk bound
+	// of the pre-retention single-file behavior, with a stamped name).
+	CheckpointKeep int
+	// Logf, when non-nil, receives operational notices that are not
+	// errors but that an operator should see — most importantly the
+	// elastic-resume notice that worker RNG streams were reseeded
+	// because the worker count changed (the resumed run is then
+	// statistically equivalent to, not bit-identical with, the
+	// uninterrupted one).
+	Logf func(format string, args ...any)
 	// Budget, when > 0, bounds cumulative *sampling* time: the run stops
 	// (and checkpoints) after the first iteration that crosses it.
 	// Evaluation time is excluded, matching the trace's Elapsed.
@@ -104,14 +120,32 @@ func Run(s sampler.Sampler, c corpus.Provider, cfg sampler.Config, opts Options)
 	fingerprint := CorpusFingerprint(c)
 
 	if ck := opts.ResumeFrom; ck != nil {
-		if err := ck.Verify(s.Name(), fingerprint, cfg); err != nil {
-			return Result{}, err
-		}
 		if ck.Iter > opts.Iters {
 			return Result{}, fmt.Errorf("train: checkpoint is at iteration %d, past the %d-iteration target", ck.Iter, opts.Iters)
 		}
-		if err := s.RestoreFrom(bytes.NewReader(ck.State)); err != nil {
-			return Result{}, fmt.Errorf("train: restoring sampler state: %w", err)
+		if ck.IsSharded() {
+			sh, ok := s.(sampler.Sharded)
+			if !ok {
+				return Result{}, fmt.Errorf("train: checkpoint is sharded (%d shards) but sampler %q does not support sharded state", len(ck.ShardFiles), s.Name())
+			}
+			if err := ck.VerifyElastic(s.Name(), fingerprint, cfg); err != nil {
+				return Result{}, err
+			}
+			reseeded, err := ck.RestoreInto(sh)
+			if err != nil {
+				return Result{}, fmt.Errorf("train: restoring sharded state: %w", err)
+			}
+			if reseeded && opts.Logf != nil {
+				opts.Logf("elastic resume: repartitioned %d-shard checkpoint across %d workers; worker RNG streams reseeded (run is statistically equivalent, not bit-identical, to an uninterrupted one)",
+					len(ck.ShardFiles), sh.NumShards())
+			}
+		} else {
+			if err := ck.Verify(s.Name(), fingerprint, cfg); err != nil {
+				return Result{}, err
+			}
+			if err := s.RestoreFrom(bytes.NewReader(ck.State)); err != nil {
+				return Result{}, fmt.Errorf("train: restoring sampler state: %w", err)
+			}
 		}
 		loop.SetProgress(ck.Iter, ck.Elapsed, ck.Trace)
 	}
@@ -134,6 +168,11 @@ func Run(s sampler.Sampler, c corpus.Provider, cfg sampler.Config, opts Options)
 		if err != nil {
 			res.Run, res.Iter = loop.Trace, loop.Iter
 			return "", fmt.Errorf("train: writing checkpoint at iteration %d: %w", loop.Iter, err)
+		}
+		if err := pruneCheckpoints(opts.CheckpointDir, opts.CheckpointKeep, loop.Iter); err != nil && opts.Logf != nil {
+			// The checkpoint itself committed; a failed rotation costs
+			// disk, not progress.
+			opts.Logf("checkpoint retention: %v", err)
 		}
 		res.CheckpointPath = path
 		return path, nil
@@ -190,10 +229,12 @@ func Run(s sampler.Sampler, c corpus.Provider, cfg sampler.Config, opts Options)
 	return res, nil
 }
 
-// writeCheckpoint snapshots the loop into CheckpointDir, streaming the
-// sampler state straight into the (checksummed, atomically renamed)
-// file — checkpointing costs O(1) extra memory regardless of state
-// size.
+// writeCheckpoint snapshots the loop into CheckpointDir under an
+// iteration-stamped name. Samplers with sharded state write one file
+// per worker concurrently plus a manifest (manifest.go); everything
+// else streams its state straight into a single checksummed,
+// atomically renamed file — either way checkpointing costs O(1) extra
+// memory regardless of state size.
 func writeCheckpoint(loop *sampler.Loop, fingerprint uint32, dir string) (string, error) {
 	ck := &Checkpoint{
 		Sampler:     loop.Sampler.Name(),
@@ -203,16 +244,22 @@ func writeCheckpoint(loop *sampler.Loop, fingerprint uint32, dir string) (string
 		Trace:       loop.Trace,
 		Fingerprint: fingerprint,
 	}
-	path := filepath.Join(dir, DefaultFileName)
+	if sh, ok := loop.Sampler.(sampler.Sharded); ok {
+		return ck.writeSharded(dir, sh)
+	}
+	path := filepath.Join(dir, stampedName(loop.Iter))
 	if _, err := ck.writeFileStreaming(path, loop.Sampler.StateTo); err != nil {
 		return "", err
 	}
 	return path, nil
 }
 
-// publishNameRE is the set of model names the serving registry agrees
-// to load (internal/registry's nameRE; kept in sync by
-// TestPublishNamesMatchRegistry). Publishing a name the registry would
+// publishNameRE is the set of *base* model names -publish accepts. It
+// is the serving registry's name rule (internal/registry's nameRE;
+// kept in sync by TestPublishNamesMatchRegistry) minus '@': the
+// registry additionally serves '@'-versioned names, but '@' is exactly
+// the separator versioned publishing appends (<name>@<iter>), so a
+// base name may not contain it. Publishing a name the registry would
 // 404 on forever must fail here, at train time, not in production.
 var publishNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
 
@@ -235,4 +282,70 @@ func PublishPath(spec string) (path, name string, err error) {
 		return "", "", fmt.Errorf("train: -publish name %q is not servable (want %s)", name, publishNameRE)
 	}
 	return filepath.Join(dir, name+".bin"), name, nil
+}
+
+// VersionedPublishPath resolves a publish spec to the
+// iteration-stamped snapshot path <dir>/<name>@<iter>.bin and the
+// versioned registry name <name>@<iter>. Versioned snapshots are what
+// make registry rollback possible: every publish leaves a pinned,
+// independently-servable model behind, and the unversioned <name> is
+// just a pointer to one of them (PublishLatest).
+func VersionedPublishPath(spec string, iter int) (path, name string, err error) {
+	if iter < 0 {
+		return "", "", fmt.Errorf("train: publish iteration %d, want >= 0", iter)
+	}
+	basePath, base, err := PublishPath(spec)
+	if err != nil {
+		return "", "", err
+	}
+	name = fmt.Sprintf("%s@%d", base, iter)
+	return filepath.Join(filepath.Dir(basePath), name+".bin"), name, nil
+}
+
+// PublishLatest atomically points the unversioned model <dir>/<name>.bin
+// at the already-written versioned snapshot <name>@<iter>.bin — the
+// "latest" pointer a serving registry loads under the bare name. The
+// swap is a relative symlink renamed into place, so a watching
+// registry observes either the old version or the new one, never a
+// partial state, and its inode-aware change detection picks the swap
+// up without a restart. On filesystems without symlink support the
+// snapshot's bytes are copied into place with the same atomic-rename
+// discipline instead (functionally identical; rollback then costs a
+// re-publish rather than a pointer move). The path of the updated
+// pointer is returned.
+func PublishLatest(spec string, iter int) (string, error) {
+	latest, name, err := PublishPath(spec)
+	if err != nil {
+		return "", err
+	}
+	target, _, err := VersionedPublishPath(spec, iter)
+	if err != nil {
+		return "", err
+	}
+	if _, err := os.Stat(target); err != nil {
+		return "", fmt.Errorf("train: versioned snapshot missing: %w", err)
+	}
+	dir := filepath.Dir(latest)
+	tmp := filepath.Join(dir, fmt.Sprintf(".warplda-latest-%s-%d", name, os.Getpid()))
+	os.Remove(tmp)
+	if err := os.Symlink(filepath.Base(target), tmp); err != nil {
+		// No symlinks here (exotic filesystem): fall back to an atomic
+		// byte copy of the versioned snapshot.
+		if _, cerr := fsio.AtomicWriteFile(latest, ".warplda-latest-*", func(w io.Writer) (int64, error) {
+			f, err := os.Open(target)
+			if err != nil {
+				return 0, err
+			}
+			defer f.Close()
+			return io.Copy(w, f)
+		}); cerr != nil {
+			return "", fmt.Errorf("train: installing latest pointer: %w (symlink: %v)", cerr, err)
+		}
+		return latest, nil
+	}
+	if err := os.Rename(tmp, latest); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("train: installing latest pointer: %w", err)
+	}
+	return latest, nil
 }

@@ -2,7 +2,6 @@ package train_test
 
 import (
 	"os"
-	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -180,8 +179,14 @@ func TestBudgetStopsAndCheckpoints(t *testing.T) {
 	if res.Iter != 1 {
 		t.Fatalf("budget of 1ns ran %d iterations, want 1", res.Iter)
 	}
-	if _, err := os.Stat(filepath.Join(dir, train.DefaultFileName)); err != nil {
+	if res.CheckpointPath == "" {
+		t.Fatal("no checkpoint after budget stop")
+	}
+	if _, err := os.Stat(res.CheckpointPath); err != nil {
 		t.Fatalf("no checkpoint after budget stop: %v", err)
+	}
+	if _, err := train.Load(dir); err != nil {
+		t.Fatalf("checkpoint directory does not resolve to the stamped checkpoint: %v", err)
 	}
 }
 

@@ -225,6 +225,29 @@ func PublishModelPath(spec string) (path, name string, err error) {
 	return train.PublishPath(spec)
 }
 
+// PublishModelVersionPath resolves a publish spec to the
+// iteration-stamped snapshot path and registry name <name>@<iter> —
+// the pinned version a registry can roll back to.
+func PublishModelVersionPath(spec string, iter int) (path, name string, err error) {
+	return train.VersionedPublishPath(spec, iter)
+}
+
+// PublishModelLatest atomically points the bare <name>.bin the
+// registry serves as <name> at the already-published <name>@<iter>.bin
+// snapshot; a watching warplda-serve hot-reloads the swap without a
+// restart. It returns the pointer's path.
+func PublishModelLatest(spec string, iter int) (string, error) {
+	return train.PublishLatest(spec, iter)
+}
+
+// ListCheckpoints returns the iteration-stamped checkpoints retained in
+// a checkpoint directory (oldest first), each entry naming its path and
+// whether it is a sharded (manifest + shard files) checkpoint. See
+// docs/FORMATS.md for both on-disk shapes.
+func ListCheckpoints(dir string) ([]train.CheckpointEntry, error) {
+	return train.ListCheckpoints(dir)
+}
+
 // LogLikelihood computes log p(W, Z | α, β) for the sampler's current
 // state.
 func LogLikelihood(c CorpusProvider, s Sampler, cfg Config) float64 {
