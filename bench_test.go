@@ -7,6 +7,7 @@ package warplda
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -257,6 +258,22 @@ func BenchmarkSampleWarp(b *testing.B) {
 // BenchmarkSampleWarpThreaded tracks the parallel phase machinery.
 func BenchmarkSampleWarpThreaded(b *testing.B) {
 	benchSample(b, sampleBenchCorpus(b), 4)
+}
+
+// BenchmarkSampleWarpScaling is the thread-scaling matrix the
+// thread-scaling CI lane records: the same corpus sampled at 1, 2, 4,
+// and 8 threads. cmd/bench-ci recognizes the /threads=N sub-benchmark
+// names, folds them into a speedup-vs-threads curve in BENCH_<sha>.json,
+// and gates the curve (absolute -min-speedup floors, armed only on
+// runners with enough cores, plus regression against the baseline's
+// curve). See docs/PERFORMANCE.md.
+func BenchmarkSampleWarpScaling(b *testing.B) {
+	c := sampleBenchCorpus(b)
+	for _, th := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			benchSample(b, c, th)
+		})
+	}
 }
 
 // BenchmarkSampleMappedCorpus is the out-of-core path: identical

@@ -14,6 +14,20 @@
 // reports one, else ops/s derived from ns/op — higher is better either
 // way, so the gate needs no per-benchmark configuration.
 //
+// Benchmarks named <base>/threads=N (BenchmarkSampleWarpScaling) are
+// additionally folded into per-family speedup-vs-threads curves,
+// recorded in the report's "scaling" section. Two extra gates apply to
+// them: the repeatable -min-speedup THREADS=SPEEDUP flag enforces an
+// absolute scaling floor (armed only when the runner has at least
+// THREADS CPUs), and when a baseline is supplied, each point's speedup
+// is gated against the baseline's speedup at the same thread count —
+// so a change that keeps serial throughput but destroys scaling still
+// fails. The thread-scaling CI lane runs
+//
+//	go test -json -bench=BenchmarkSampleWarpScaling -benchtime=3x -count=3 -run '^$' . > scaling-raw.json
+//	bench-ci -in scaling-raw.json -out BENCH_SCALING_$GITHUB_SHA.json \
+//	    -baseline ci/bench-baseline.json -min-speedup 4=2.0
+//
 // Refresh the baseline (after a reviewed perf change, or on new
 // hardware) with:
 //
@@ -61,11 +75,182 @@ type Summary struct {
 
 // Report is the BENCH_<sha>.json document.
 type Report struct {
-	SHA        string    `json:"sha,omitempty"`
-	GoVersion  string    `json:"go_version"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
+	SHA       string `json:"sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU() where the benchmarks ran. Scaling gates
+	// arm against it: a 2× floor at 4 threads is meaningless on a
+	// 1-core runner, and absolute throughput from a different core
+	// count is not comparable either (see envMatches).
+	CPUs       int       `json:"cpus"`
 	Benchmarks []Summary `json:"benchmarks"`
+	// Scaling holds the speedup curves derived from /threads=N
+	// sub-benchmark families (see scalingCurves).
+	Scaling []ScalingCurve `json:"scaling,omitempty"`
+}
+
+// ScalingPoint is one thread count of a scaling curve.
+type ScalingPoint struct {
+	Threads    int     `json:"threads"`
+	Throughput float64 `json:"throughput"`
+	// Speedup is Throughput over the curve's threads=1 throughput;
+	// 0 when the curve has no threads=1 point to normalize against.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScalingCurve is the speedup-vs-threads curve of one benchmark family
+// named <base>/threads=N, e.g. BenchmarkSampleWarpScaling.
+type ScalingCurve struct {
+	Name           string         `json:"name"`
+	ThroughputUnit string         `json:"throughput_unit"`
+	Points         []ScalingPoint `json:"points"`
+}
+
+// scalingNameRE matches the sub-benchmark naming convention that marks
+// a benchmark as one point of a thread-scaling family.
+var scalingNameRE = regexp.MustCompile(`^(.+)/threads=(\d+)$`)
+
+// scalingCurves groups /threads=N summaries into per-family curves,
+// sorted by name and ascending thread count, with each point's speedup
+// normalized against the family's threads=1 point.
+func scalingCurves(sums []Summary) []ScalingCurve {
+	byBase := map[string]*ScalingCurve{}
+	for _, s := range sums {
+		m := scalingNameRE.FindStringSubmatch(s.Name)
+		if m == nil {
+			continue
+		}
+		threads, err := strconv.Atoi(m[2])
+		if err != nil || threads < 1 {
+			continue
+		}
+		c := byBase[m[1]]
+		if c == nil {
+			c = &ScalingCurve{Name: m[1], ThroughputUnit: s.ThroughputUnit}
+			byBase[m[1]] = c
+		}
+		c.Points = append(c.Points, ScalingPoint{Threads: threads, Throughput: s.Throughput})
+	}
+	out := make([]ScalingCurve, 0, len(byBase))
+	for _, c := range byBase {
+		sort.Slice(c.Points, func(i, j int) bool { return c.Points[i].Threads < c.Points[j].Threads })
+		var serial float64
+		for _, p := range c.Points {
+			if p.Threads == 1 {
+				serial = p.Throughput
+				break
+			}
+		}
+		if serial > 0 {
+			for i := range c.Points {
+				c.Points[i].Speedup = c.Points[i].Throughput / serial
+			}
+		}
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// speedupFloors is the repeatable -min-speedup flag: threads → minimum
+// required speedup over the same family's threads=1 point.
+type speedupFloors map[int]float64
+
+func (f speedupFloors) String() string {
+	parts := make([]string, 0, len(f))
+	for t, x := range f {
+		parts = append(parts, fmt.Sprintf("%d=%g", t, x))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f speedupFloors) Set(s string) error {
+	t, x, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want THREADS=SPEEDUP, got %q", s)
+	}
+	threads, err := strconv.Atoi(strings.TrimSpace(t))
+	if err != nil || threads < 2 {
+		return fmt.Errorf("bad thread count in %q", s)
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad speedup floor in %q", s)
+	}
+	f[threads] = min
+	return nil
+}
+
+// checkSpeedupFloors applies the absolute -min-speedup gates to every
+// scaling curve. A floor at T threads only arms when the run had at
+// least T CPUs — on a smaller runner it downgrades to a note, because
+// the hardware cannot express the speedup no matter how good the code
+// is. Curves lacking a threads=1 or threads=T point are skipped.
+func checkSpeedupFloors(curves []ScalingCurve, floors speedupFloors, cpus int) (violations, notes []string) {
+	threads := make([]int, 0, len(floors))
+	for t := range floors {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		min := floors[t]
+		if cpus < t {
+			notes = append(notes, fmt.Sprintf("min-speedup %d=%.2f not armed: run had %d CPUs", t, min, cpus))
+			continue
+		}
+		for _, c := range curves {
+			for _, p := range c.Points {
+				if p.Threads != t || p.Speedup == 0 {
+					continue
+				}
+				if p.Speedup < min {
+					violations = append(violations, fmt.Sprintf("%s/threads=%d: speedup %.2f× below required %.2f× (%d CPUs)",
+						c.Name, t, p.Speedup, min, cpus))
+				}
+			}
+		}
+	}
+	return violations, notes
+}
+
+// compareScaling gates each curve's speedups against the baseline's:
+// a point whose speedup fell more than maxRegression below the
+// baseline speedup at the same thread count is a scaling regression,
+// even if absolute throughput stayed inside the throughput gate. Only
+// meaningful when the environments (including CPU count) match; the
+// caller is responsible for that check.
+func compareScaling(baseline, current []ScalingCurve, maxRegression float64) (violations []string) {
+	cur := map[string]ScalingCurve{}
+	for _, c := range current {
+		cur[c.Name] = c
+	}
+	for _, base := range baseline {
+		got, ok := cur[base.Name]
+		if !ok {
+			continue // vanished families are already warned about per-benchmark
+		}
+		speedups := map[int]float64{}
+		for _, p := range got.Points {
+			speedups[p.Threads] = p.Speedup
+		}
+		for _, p := range base.Points {
+			if p.Threads == 1 || p.Speedup <= 0 {
+				continue
+			}
+			gotSpeedup, ok := speedups[p.Threads]
+			if !ok || gotSpeedup <= 0 {
+				continue
+			}
+			drop := 1 - gotSpeedup/p.Speedup
+			if drop > maxRegression {
+				violations = append(violations, fmt.Sprintf("%s/threads=%d: speedup %.2f×, baseline %.2f× (%.1f%% scaling regression > %.0f%% allowed)",
+					base.Name, p.Threads, gotSpeedup, p.Speedup, drop*100, maxRegression*100))
+			}
+		}
+	}
+	return violations
 }
 
 // testEvent is the subset of `go test -json` events we read. Package
@@ -253,6 +438,10 @@ func envMatches(base, cur Report) (bool, string) {
 		return false, fmt.Sprintf("baseline GOARCH %s vs %s", base.GOARCH, cur.GOARCH)
 	case base.GoVersion != cur.GoVersion:
 		return false, fmt.Sprintf("baseline recorded with %s, running %s", base.GoVersion, cur.GoVersion)
+	case base.CPUs != cur.CPUs:
+		// Thread-scaling speedups (and absolute threaded throughput)
+		// from different core counts are not comparable.
+		return false, fmt.Sprintf("baseline recorded on %d CPUs, running on %d", base.CPUs, cur.CPUs)
 	}
 	return true, ""
 }
@@ -274,7 +463,9 @@ func main() {
 		maxRegress  = flag.Float64("max-regression", 0.25, "maximum allowed fractional throughput regression vs the baseline")
 		updateBase  = flag.String("update-baseline", "", "write a fresh baseline report here and exit")
 		failOnEmpty = flag.Bool("fail-on-empty", true, "fail when no benchmark results were found in the input")
+		floors      = speedupFloors{}
 	)
+	flag.Var(floors, "min-speedup", "THREADS=SPEEDUP floor for /threads=N scaling families, e.g. 4=2.0; repeatable; armed only when the runner has at least THREADS CPUs")
 	flag.Parse()
 
 	r := os.Stdin
@@ -299,7 +490,9 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
 		Benchmarks: summaries,
+		Scaling:    scalingCurves(summaries),
 	}
 
 	if *updateBase != "" {
@@ -316,6 +509,24 @@ func main() {
 		fmt.Printf("bench-ci: wrote %s (%d benchmarks)\n", *out, len(summaries))
 	}
 
+	// Absolute scaling floors gate independently of any baseline: they
+	// assert the parallel code actually scales, not merely that it got
+	// no worse. Floors above this runner's core count downgrade to
+	// notes — the hardware, not the code, caps the speedup there.
+	floorViolations, notes := checkSpeedupFloors(report.Scaling, floors, report.CPUs)
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "bench-ci: note: %s\n", n)
+	}
+	if len(floors) > 0 && len(report.Scaling) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-ci: warning: -min-speedup set but no /threads=N scaling family found in the input\n")
+	}
+	if len(floorViolations) > 0 {
+		for _, v := range floorViolations {
+			fmt.Fprintf(os.Stderr, "bench-ci: SCALING: %s\n", v)
+		}
+		os.Exit(1)
+	}
+
 	if *baselineF != "" {
 		data, err := os.ReadFile(*baselineF)
 		if err != nil {
@@ -326,6 +537,14 @@ func main() {
 			fatal(fmt.Errorf("parsing baseline %s: %w", *baselineF, err))
 		}
 		violations, warnings := compare(base.Benchmarks, summaries, *maxRegress)
+		// Older baselines carry no scaling section: derive the curves
+		// from their /threads=N summaries so the speedup comparison
+		// works against any baseline vintage.
+		baseScaling := base.Scaling
+		if len(baseScaling) == 0 {
+			baseScaling = scalingCurves(base.Benchmarks)
+		}
+		violations = append(violations, compareScaling(baseScaling, report.Scaling, *maxRegress)...)
 		for _, w := range warnings {
 			fmt.Fprintf(os.Stderr, "bench-ci: warning: %s\n", w)
 		}

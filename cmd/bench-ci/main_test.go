@@ -17,6 +17,8 @@ func TestParseBenchLine(t *testing.T) {
 		{"BenchmarkSampleWarp  1  53190112 ns/op  4511071 tokens/s", true, "BenchmarkSampleWarp", 4511071, "tokens/s"},
 		{"BenchmarkFreeze-4  10  1000000 ns/op", true, "BenchmarkFreeze", 1000, "ops/s"},
 		{"BenchmarkSampleIngest 	       1	 169525500 ns/op	  12.58 MB/s	 1415330 tokens/s", true, "BenchmarkSampleIngest", 1415330, "tokens/s"},
+		{"BenchmarkSampleWarpScaling/threads=4-8  3  20000000 ns/op  12000000 tokens/s", true, "BenchmarkSampleWarpScaling/threads=4", 12000000, "tokens/s"},
+		{"BenchmarkSampleWarpScaling/threads=2  3  40000000 ns/op  6000000 tokens/s", true, "BenchmarkSampleWarpScaling/threads=2", 6000000, "tokens/s"},
 		{"PASS", false, "", 0, ""},
 		{"ok  	warplda	1.046s", false, "", 0, ""},
 		{"goos: linux", false, "", 0, ""},
@@ -127,17 +129,139 @@ func TestCompareUnitMismatch(t *testing.T) {
 }
 
 func TestEnvMatches(t *testing.T) {
-	a := Report{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "amd64"}
+	a := Report{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "amd64", CPUs: 8}
 	if ok, _ := envMatches(a, a); !ok {
 		t.Fatal("identical envs should match")
 	}
 	for _, b := range []Report{
-		{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64"},
-		{GoVersion: "go1.22.1", GOOS: "darwin", GOARCH: "amd64"},
-		{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "arm64"},
+		{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", CPUs: 8},
+		{GoVersion: "go1.22.1", GOOS: "darwin", GOARCH: "amd64", CPUs: 8},
+		{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "arm64", CPUs: 8},
+		{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "amd64", CPUs: 4},
 	} {
 		if ok, why := envMatches(a, b); ok || why == "" {
 			t.Fatalf("mismatched envs %+v vs %+v not detected", a, b)
 		}
+	}
+}
+
+// scalingFixture is a two-family summary set: one well-formed curve
+// (with a deliberately out-of-order input and a GOMAXPROCS-normalized
+// naming convention already applied) and one family with no threads=1
+// point, plus a non-scaling benchmark that must be ignored.
+func scalingFixture() []Summary {
+	return []Summary{
+		{Name: "BenchmarkSampleWarp", Throughput: 5e6, ThroughputUnit: "tokens/s"},
+		{Name: "BenchmarkSampleWarpScaling/threads=4", Throughput: 11e6, ThroughputUnit: "tokens/s"},
+		{Name: "BenchmarkSampleWarpScaling/threads=1", Throughput: 5e6, ThroughputUnit: "tokens/s"},
+		{Name: "BenchmarkSampleWarpScaling/threads=2", Throughput: 9e6, ThroughputUnit: "tokens/s"},
+		{Name: "BenchmarkOrphan/threads=2", Throughput: 100, ThroughputUnit: "ops/s"},
+	}
+}
+
+func TestScalingCurves(t *testing.T) {
+	curves := scalingCurves(scalingFixture())
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves, want 2: %+v", len(curves), curves)
+	}
+	if curves[0].Name != "BenchmarkOrphan" || curves[1].Name != "BenchmarkSampleWarpScaling" {
+		t.Fatalf("curves not sorted by name: %+v", curves)
+	}
+	// No threads=1 point: throughput recorded, speedup left at 0.
+	if p := curves[0].Points[0]; p.Threads != 2 || p.Speedup != 0 {
+		t.Fatalf("orphan curve point = %+v, want threads=2 speedup=0", p)
+	}
+	warp := curves[1]
+	wantThreads := []int{1, 2, 4}
+	wantSpeedup := []float64{1, 1.8, 2.2}
+	for i, p := range warp.Points {
+		if p.Threads != wantThreads[i] || p.Speedup != wantSpeedup[i] {
+			t.Fatalf("point %d = %+v, want threads=%d speedup=%g", i, p, wantThreads[i], wantSpeedup[i])
+		}
+	}
+	if got := scalingCurves(nil); len(got) != 0 {
+		t.Fatalf("no input produced curves %+v", got)
+	}
+}
+
+func TestSpeedupFloorsFlag(t *testing.T) {
+	f := speedupFloors{}
+	for _, s := range []string{"4=2.0", "8 = 3"} {
+		if err := f.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if f[4] != 2.0 || f[8] != 3.0 {
+		t.Fatalf("floors = %v", f)
+	}
+	if got := f.String(); got != "4=2,8=3" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, s := range []string{"", "4", "x=2", "4=", "4=-1", "1=2", "0=2"} {
+		if err := f.Set(s); err == nil {
+			t.Fatalf("Set(%q) accepted", s)
+		}
+	}
+}
+
+func TestCheckSpeedupFloors(t *testing.T) {
+	curves := scalingCurves(scalingFixture())
+
+	// Enough CPUs, floor met at 2, violated at 4 (2.2 < 3.0).
+	violations, notes := checkSpeedupFloors(curves, speedupFloors{2: 1.5, 4: 3.0}, 8)
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes %v", notes)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "threads=4") {
+		t.Fatalf("violations = %v, want exactly the threads=4 floor", violations)
+	}
+
+	// Too few CPUs: the gate disarms into a note, never a violation.
+	violations, notes = checkSpeedupFloors(curves, speedupFloors{4: 3.0}, 1)
+	if len(violations) != 0 {
+		t.Fatalf("disarmed gate still fired: %v", violations)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "not armed") {
+		t.Fatalf("notes = %v, want a single not-armed note", notes)
+	}
+
+	// Curves without a speedup (no threads=1 point) are never gated.
+	violations, _ = checkSpeedupFloors(curves[:1], speedupFloors{2: 99}, 8)
+	if len(violations) != 0 {
+		t.Fatalf("speedup-less curve gated: %v", violations)
+	}
+}
+
+func TestCompareScaling(t *testing.T) {
+	base := []ScalingCurve{{
+		Name: "BenchmarkSampleWarpScaling",
+		Points: []ScalingPoint{
+			{Threads: 1, Speedup: 1},
+			{Threads: 2, Speedup: 1.8},
+			{Threads: 4, Speedup: 3.0},
+		},
+	}}
+	// Same absolute throughput can hide a scaling collapse: speedup at
+	// 4 threads fell 1 - 2.0/3.0 = 33% > 25%.
+	cur := []ScalingCurve{{
+		Name: "BenchmarkSampleWarpScaling",
+		Points: []ScalingPoint{
+			{Threads: 1, Speedup: 1},
+			{Threads: 2, Speedup: 1.7},
+			{Threads: 4, Speedup: 2.0},
+		},
+	}}
+	violations := compareScaling(base, cur, 0.25)
+	if len(violations) != 1 || !strings.Contains(violations[0], "threads=4") {
+		t.Fatalf("violations = %v, want exactly threads=4", violations)
+	}
+
+	// Equal or better scaling passes; missing families are not gated
+	// here (compare already warns about vanished benchmarks).
+	if v := compareScaling(base, base, 0.25); len(v) != 0 {
+		t.Fatalf("identical curves flagged: %v", v)
+	}
+	if v := compareScaling(base, nil, 0.25); len(v) != 0 {
+		t.Fatalf("missing family gated: %v", v)
 	}
 }

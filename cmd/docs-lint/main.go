@@ -3,10 +3,13 @@
 //
 //   - Markdown link check (-md): every relative link or image target in
 //     the given markdown files/directories must exist on disk (query
-//     strings and #fragments are stripped; http(s), mailto and pure
-//     #fragment links are skipped). Dead relative links are exactly the
-//     rot a format-spec document like docs/FORMATS.md accumulates when
-//     files move.
+//     strings are stripped; http(s) and mailto links are skipped), and
+//     every #fragment — whether a pure intra-document "#section" link or
+//     the fragment of a "file.md#section" link — must name a heading
+//     anchor that actually exists in the target document, per GitHub's
+//     heading-slug rules. Dead relative links and dead anchors are
+//     exactly the rot a format-spec document like docs/FORMATS.md
+//     accumulates when files move or sections are renamed.
 //
 //   - Godoc check (-godoc): the named packages (Go import patterns
 //     resolved via `go list`-free directory walking of the given dirs)
@@ -35,6 +38,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -109,6 +113,7 @@ func checkMarkdown(root string) ([]string, error) {
 		files = []string{root}
 	}
 	var findings []string
+	anchors := anchorCache{}
 	for _, file := range files {
 		raw, err := os.ReadFile(file)
 		if err != nil {
@@ -117,15 +122,25 @@ func checkMarkdown(root string) ([]string, error) {
 		for i, line := range strings.Split(string(raw), "\n") {
 			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
 				target := m[1]
-				if target == "" || strings.HasPrefix(target, "#") ||
+				if target == "" ||
 					strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 					continue
 				}
-				// Strip fragment and query.
-				if j := strings.IndexAny(target, "#?"); j >= 0 {
+				// Split off the fragment; it is checked against the target
+				// document's headings once the file itself resolves.
+				var frag string
+				if j := strings.IndexByte(target, '#'); j >= 0 {
+					target, frag = target[:j], target[j+1:]
+				}
+				if j := strings.IndexByte(target, '?'); j >= 0 {
 					target = target[:j]
 				}
 				if target == "" {
+					// Pure intra-document link: the anchor must exist in the
+					// file that contains it.
+					if frag != "" && !anchors.has(file, frag) {
+						findings = append(findings, fmt.Sprintf("%s:%d: dead anchor %q (no such heading in this file)", file, i+1, m[1]))
+					}
 					continue
 				}
 				var resolved string
@@ -146,11 +161,97 @@ func checkMarkdown(root string) ([]string, error) {
 				}
 				if _, err := os.Stat(resolved); err != nil {
 					findings = append(findings, fmt.Sprintf("%s:%d: dead relative link %q", file, i+1, m[1]))
+					continue
+				}
+				if frag != "" && strings.HasSuffix(resolved, ".md") && !anchors.has(resolved, frag) {
+					findings = append(findings, fmt.Sprintf("%s:%d: dead anchor %q (no such heading in %s)", file, i+1, m[1], resolved))
 				}
 			}
 		}
 	}
 	return findings, nil
+}
+
+// anchorCache lazily extracts and memoizes the heading anchors of each
+// markdown file consulted during a lint run.
+type anchorCache map[string]map[string]bool
+
+// has reports whether the markdown file at path defines the anchor. An
+// unreadable file yields no anchors (its dead-link finding already
+// covers it).
+func (c anchorCache) has(path, anchor string) bool {
+	set, ok := c[path]
+	if !ok {
+		set = map[string]bool{}
+		if raw, err := os.ReadFile(path); err == nil {
+			for _, slug := range headingAnchors(string(raw)) {
+				set[slug] = true
+			}
+		}
+		c[path] = set
+	}
+	return set[anchor]
+}
+
+// headingRE matches an ATX heading line; the repo's documents use no
+// setext headings.
+var headingRE = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// headingAnchors returns the GitHub anchor slug of every heading in the
+// document, in order. Headings inside fenced code blocks are not
+// headings (a `# comment` in a shell snippet must not mint an anchor).
+func headingAnchors(doc string) []string {
+	var slugs []string
+	taken := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimLeft(line, " \t")
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := anchorSlug(m[1])
+		// GitHub de-duplicates repeated headings with a -1, -2, ... suffix.
+		if n, dup := taken[slug]; dup {
+			taken[slug] = n + 1
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		} else {
+			taken[slug] = 1
+		}
+		slugs = append(slugs, slug)
+	}
+	return slugs
+}
+
+// inlineLinkTextRE rewrites [text](target) to just text, the way GitHub
+// slugs headings that contain links.
+var inlineLinkTextRE = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
+// anchorSlug implements GitHub's heading-to-anchor algorithm: drop
+// inline-link targets, lowercase, remove every rune that is not a
+// letter, digit, space, hyphen or underscore, then turn spaces into
+// hyphens. Backticks and other punctuation simply vanish, so
+// "## Reading `BENCH_<sha>.json`" slugs to "reading-bench_shajson".
+func anchorSlug(heading string) string {
+	heading = inlineLinkTextRE.ReplaceAllString(heading, "$1")
+	heading = strings.ToLower(heading)
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // checkGodoc parses every non-test Go file in dir (one package) and

@@ -22,13 +22,16 @@
 //	^C (or kubectl delete pod, spot preemption, ...)
 //	warplda-train -corpus c.uci -iters 500 -checkpoint-dir ckpt/ -resume ckpt/
 //
-// The distributed sampler checkpoints *sharded*: each worker writes its
-// own shard file, bound by a CRC-trailed manifest (docs/FORMATS.md),
-// and resume is elastic — a checkpoint written at one -threads count
-// resumes at another, repartitioning the state and deterministically
-// reseeding the worker RNG streams (bit-identical when the count
-// matches, statistically equivalent and explicitly logged when not):
+// The warplda and distributed samplers checkpoint *sharded*: each
+// worker writes its own shard file, bound by a CRC-trailed manifest
+// (docs/FORMATS.md), and resume is elastic — a checkpoint written at
+// one -threads count resumes at another, repartitioning the state and
+// deterministically reseeding the worker RNG streams (bit-identical
+// when the count matches, statistically equivalent and explicitly
+// logged when not):
 //
+//	warplda-train -corpus c.uci -threads 2 -checkpoint-dir ckpt/
+//	warplda-train -corpus c.uci -threads 8 -checkpoint-dir ckpt/ -resume ckpt/
 //	warplda-train -corpus c.uci -algo distributed -threads 3 -checkpoint-dir ckpt/
 //	warplda-train -corpus c.uci -algo distributed -threads 5 -checkpoint-dir ckpt/ -resume ckpt/
 //

@@ -21,6 +21,13 @@
 // exactly Algorithm 2 in the paper's appendix. Neither count matrix is
 // stored: c_w and c_d are recomputed on the fly for the row/column being
 // visited, in a reused buffer that fits in cache.
+//
+// Threading model (docs/PERFORMANCE.md): work is cut into contiguous
+// chunks whose token payloads fit in a per-core L2 budget, assigned to
+// workers with the deterministic greedy partitioner; each worker
+// accumulates global-count updates into a cache-line-padded per-thread
+// delta buffer that is merged exactly once per pass. Columns too heavy
+// for one worker go through the staged cooperative passes in heavy.go.
 package core
 
 import (
@@ -34,6 +41,22 @@ import (
 	"warplda/internal/sampler"
 	"warplda/internal/sparse"
 	"warplda/internal/tcount"
+)
+
+// Cache-layout constants of the threaded passes.
+const (
+	// cacheLineI32 is one 64-byte cache line in int32 units. Per-thread
+	// delta buffers are padded to this granularity so no two workers ever
+	// write the same line (false sharing).
+	cacheLineI32 = 16
+	// l2ChunkBytes is the token-payload budget of one work chunk: half of
+	// a typical 1 MiB per-core L2, leaving the other half for the row
+	// counter, the alias scratch, and the structure arrays.
+	l2ChunkBytes = 512 << 10
+	// heavyBatchBytes bounds the partial-count scratch of the staged
+	// intra-word passes (heavy.go): one batch needs
+	// (threads+1)·batch·paddedK int32 of it.
+	heavyBatchBytes = 8 << 20
 )
 
 // Options tune implementation details of the sampler. The zero value is
@@ -60,9 +83,9 @@ type Options struct {
 	ShuffleTokens bool
 	// DisableIntraWord turns off Section 5.4's intra-word parallelism:
 	// with multiple threads, columns whose term frequency exceeds
-	// max(K, 1024) are by default processed by all workers together (one
-	// column at a time), which keeps only one c_w in cache and balances
-	// the load the heaviest words would otherwise skew.
+	// max(K, 1024) are by default processed by all workers together
+	// through the staged passes in heavy.go, which keeps only one c_w in
+	// cache and balances the load the heaviest words would otherwise skew.
 	DisableIntraWord bool
 }
 
@@ -86,11 +109,13 @@ type Warp struct {
 	alphas   []float64    // per-topic prior (symmetric expansion if needed)
 	alphaTab *alias.Table // q_doc smoothing part for asymmetric α (nil = uniform)
 
-	workers []*worker
-	asgBuf  [][]int32
+	workers  []*worker
+	ckDeltas []int32 // backing array of the per-worker ckAcc views, padded
+	asgBuf   [][]int32
 
-	heavyCols []int  // columns processed with intra-word parallelism
-	isHeavy   []bool // per column
+	heavyCols []int      // columns processed with intra-word parallelism
+	isHeavy   []bool     // per column
+	heavy     *heavyPlan // staged schedule for heavyCols (nil if none)
 }
 
 // worker carries the per-goroutine scratch state.
@@ -101,10 +126,10 @@ type worker struct {
 	weights []float64 // matching weights for the alias build
 	tab     alias.SparseTable
 	dense   alias.Table
-	ckAcc   []int32
+	ckAcc   []int32 // view into Warp.ckDeltas, one padded lane per worker
 
-	cols [2]int // column range [start, end) owned in the word phase
-	rows [2]int // row range owned in the doc phase
+	colChunks [][2]int // column ranges [start, end) owned in the word phase
+	rowChunks [][2]int // row ranges owned in the doc phase
 }
 
 // New builds a WarpLDA sampler. The corpus must be valid; cfg.M ≥ 1 is
@@ -175,6 +200,11 @@ func NewWithOptions(c corpus.Provider, cfg sampler.Config, opts Options) (*Warp,
 	return w, nil
 }
 
+// buildWorkers derives the whole static thread schedule from the corpus
+// and the Config: the per-worker chunk lists, the padded delta buffers,
+// and the staged plan for heavy columns. Everything here is
+// deterministic in (corpus, Config), which is what lets a restore with
+// an unchanged thread count reproduce the saved trajectory bit for bit.
 func (w *Warp) buildWorkers(r *rng.RNG) {
 	n := w.cfg.Threads
 	w.workers = make([]*worker, n)
@@ -182,8 +212,8 @@ func (w *Warp) buildWorkers(r *rng.RNG) {
 	// Balance the phase work: columns by term frequency, rows by length.
 	tf := corpus.TermFreqsOf(w.c)
 	// Section 5.4: the most frequent words (Lw > K) are processed with
-	// all workers cooperating on one column at a time; they are excluded
-	// from the per-worker ranges by zeroing their weight.
+	// all workers cooperating; they are excluded from the per-worker
+	// chunks by zeroing their weight.
 	w.isHeavy = make([]bool, w.c.NumWords())
 	if n > 1 && !w.opts.DisableIntraWord {
 		threshold := w.cfg.K
@@ -201,19 +231,22 @@ func (w *Warp) buildWorkers(r *rng.RNG) {
 		}
 		tf = balanced
 	}
-	colCut := contiguousCuts(tf, n)
 	dl := make([]int, w.c.NumDocs())
 	for d := range dl {
 		dl[d] = len(w.c.Doc(d))
 	}
-	rowCut := contiguousCuts(dl, n)
 
+	// Per-thread delta buffers: one padded lane per worker carved from a
+	// single backing array. The lane stride rounds K up to a cache line
+	// and adds one guard line, so no two workers' lanes can share a line
+	// whatever the base alignment — the merge in Iterate is the only
+	// cross-thread traffic the accumulators generate.
+	stride := ckLaneStride(w.cfg.K)
+	w.ckDeltas = make([]int32, n*stride)
 	for i := 0; i < n; i++ {
 		wk := &worker{
 			r:     r.Split(),
-			ckAcc: make([]int32, w.cfg.K),
-			cols:  [2]int{colCut[i], colCut[i+1]},
-			rows:  [2]int{rowCut[i], rowCut[i+1]},
+			ckAcc: w.ckDeltas[i*stride : i*stride+w.cfg.K : i*stride+w.cfg.K],
 		}
 		if w.opts.ForceHash {
 			wk.counter = tcount.NewHash(64)
@@ -224,6 +257,72 @@ func (w *Warp) buildWorkers(r *rng.RNG) {
 		}
 		w.workers[i] = wk
 	}
+
+	// Work chunks: contiguous ranges sized so one chunk's token payloads
+	// fit the L2 budget, greedy-assigned to workers by token weight. A
+	// chunk list beats n flat ranges in two ways: the greedy partition
+	// balances better than equal-prefix cuts, and a chunk is small enough
+	// that its payloads are still cached when the phase revisits them.
+	chunkTokens := max(1, l2ChunkBytes/(4*(w.cfg.M+1)))
+	colChunks := chunkRanges(tf, chunkTokens, n)
+	rowChunks := chunkRanges(dl, chunkTokens, n)
+	colOwner := sparse.GreedyPartition(rangeWeights(colChunks, tf), n)
+	rowOwner := sparse.GreedyPartition(rangeWeights(rowChunks, dl), n)
+	for ci, rg := range colChunks {
+		wk := w.workers[colOwner.Assign[ci]]
+		wk.colChunks = append(wk.colChunks, rg)
+	}
+	for ri, rg := range rowChunks {
+		wk := w.workers[rowOwner.Assign[ri]]
+		wk.rowChunks = append(wk.rowChunks, rg)
+	}
+
+	if len(w.heavyCols) > 0 {
+		w.heavy = w.buildHeavyPlan()
+	}
+}
+
+// ckLaneStride is the int32 distance between two workers' delta lanes:
+// K rounded up to a whole cache line, plus one guard line.
+func ckLaneStride(k int) int {
+	return (k+cacheLineI32-1)/cacheLineI32*cacheLineI32 + cacheLineI32
+}
+
+// chunkRanges cuts items into contiguous ranges of roughly equal weight,
+// at least minChunks of them (so every worker can own work) and enough
+// that no range much exceeds budget total weight. Empty ranges are
+// dropped; the returned ranges tile [0, len(weights)) exactly.
+func chunkRanges(weights []int, budget, minChunks int) [][2]int {
+	if len(weights) == 0 {
+		return nil
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := (total + budget - 1) / budget
+	n = max(n, minChunks)
+	n = min(n, len(weights))
+	n = max(n, 1)
+	cuts := contiguousCuts(weights, n)
+	ranges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		if cuts[i] < cuts[i+1] {
+			ranges = append(ranges, [2]int{cuts[i], cuts[i+1]})
+		}
+	}
+	return ranges
+}
+
+// rangeWeights sums weights over each range, for the greedy assignment.
+func rangeWeights(ranges [][2]int, weights []int) []int {
+	out := make([]int, len(ranges))
+	for i, rg := range ranges {
+		for j := rg[0]; j < rg[1]; j++ {
+			out[i] += weights[j]
+		}
+	}
+	return out
 }
 
 // contiguousCuts splits items into n contiguous ranges with roughly equal
@@ -257,15 +356,19 @@ func (w *Warp) Name() string { return "WarpLDA" }
 func (w *Warp) K() int { return w.cfg.K }
 
 // Iterate implements sampler.Sampler: one word phase then one doc phase,
-// after which the global count vector is refreshed (the M-step).
+// after which the global count vector is refreshed (the M-step). The
+// per-worker delta buffers are merged exactly once, here — the phases
+// themselves never write shared memory.
 func (w *Warp) Iterate() {
-	for _, col := range w.heavyCols {
-		w.wordColumnParallel(col)
+	if w.heavy != nil {
+		w.runHeavy()
 	}
 	w.runPhase(func(wk *worker) {
-		for col := wk.cols[0]; col < wk.cols[1]; col++ {
-			if !w.isHeavy[col] {
-				w.wordColumn(wk, col)
+		for _, rg := range wk.colChunks {
+			for col := rg[0]; col < rg[1]; col++ {
+				if !w.isHeavy[col] {
+					w.wordColumn(wk, col)
+				}
 			}
 		}
 	})
@@ -273,11 +376,14 @@ func (w *Warp) Iterate() {
 		clear(wk.ckAcc)
 	}
 	w.runPhase(func(wk *worker) {
-		for row := wk.rows[0]; row < wk.rows[1]; row++ {
-			w.docRow(wk, row)
+		for _, rg := range wk.rowChunks {
+			for row := rg[0]; row < rg[1]; row++ {
+				w.docRow(wk, row)
+			}
 		}
 	})
-	// M-step: ck for the next iteration from the per-worker accumulators.
+	// M-step: merge the per-worker delta lanes into the next iteration's
+	// ck (the single cross-thread merge point of the pass).
 	clear(w.ckNext)
 	for _, wk := range w.workers {
 		for k, v := range wk.ckAcc {
@@ -384,99 +490,10 @@ func (w *Warp) wordColumn(wk *worker, col int) {
 	}
 }
 
-// wordColumnParallel is wordColumn with intra-word parallelism
-// (Section 5.4): all workers cooperate on one heavy column. c_w is
-// counted once, the MH chains and the proposal draws are split across
-// workers (each with its own RNG), and the shared counter/alias table is
-// only read concurrently.
-func (w *Warp) wordColumnParallel(col int) {
-	v := w.m.Column(col)
-	lw := v.Len()
-	if lw == 0 {
-		return
-	}
-	beta, betaBar := w.cfg.Beta, w.betaBar
-	lead := w.workers[0]
-	cw := lead.counter
-	resetCounter(cw, w.cfg.K, lw)
-	for i := 0; i < lw; i++ {
-		cw.Incr(v.Data(i)[0])
-	}
-
-	n := len(w.workers)
-	slice := func(fn func(wk *worker, lo, hi int)) {
-		var wg sync.WaitGroup
-		chunk := (lw + n - 1) / n
-		for i, wk := range w.workers {
-			lo := i * chunk
-			hi := lo + chunk
-			if lo > lw {
-				lo = lw
-			}
-			if hi > lw {
-				hi = lw
-			}
-			wg.Add(1)
-			go func(wk *worker, lo, hi int) {
-				defer wg.Done()
-				fn(wk, lo, hi)
-			}(wk, lo, hi)
-		}
-		wg.Wait()
-	}
-
-	// Chains: c_w and c_k are frozen, so concurrent reads are safe.
-	slice(func(wk *worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			data := v.Data(i)
-			s := data[0]
-			for j := 1; j < len(data); j++ {
-				t := data[j]
-				if t == s {
-					continue
-				}
-				pi := (float64(cw.Get(t)) + beta) / (float64(cw.Get(s)) + beta) *
-					(float64(w.ck[s]) + betaBar) / (float64(w.ck[t]) + betaBar)
-				if pi >= 1 || wk.r.Float64() < pi {
-					s = t
-				}
-			}
-			data[0] = s
-		}
-	})
-
-	resetCounter(cw, w.cfg.K, lw)
-	for i := 0; i < lw; i++ {
-		cw.Incr(v.Data(i)[0])
-	}
-	lead.topics = lead.topics[:0]
-	lead.weights = lead.weights[:0]
-	cw.NonZero(func(k, c int32) {
-		lead.topics = append(lead.topics, k)
-		lead.weights = append(lead.weights, float64(c))
-	})
-	lead.tab.Build(lead.topics, lead.weights)
-	pCount := float64(lw) / (float64(lw) + float64(w.cfg.K)*beta)
-
-	// Draws: the alias table is read-only under Draw.
-	slice(func(wk *worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			data := v.Data(i)
-			for j := 1; j < len(data); j++ {
-				if wk.r.Float64() < pCount {
-					data[j] = lead.tab.Draw(wk.r)
-				} else {
-					data[j] = int32(wk.r.Intn(w.cfg.K))
-				}
-			}
-		}
-	})
-}
-
 // docRow processes one document: finish the word-proposal chains using
 // the doc acceptance rate (Eq. 7, π^word), draw M fresh doc proposals per
 // token by random positioning, and accumulate this document's counts into
-// the next iteration's c_k.
+// the worker's delta lane.
 func (w *Warp) docRow(wk *worker, row int) {
 	v := w.m.RowOf(row)
 	ld := v.Len()
@@ -624,7 +641,8 @@ func (w *Warp) StateTo(out io.Writer) error {
 // Warp over the same corpus and Config (worker count included — the
 // RNG streams are per worker). Everything is decoded and validated
 // before any live state is replaced, so a corrupt snapshot leaves the
-// sampler untouched.
+// sampler untouched. For restores across a changed Threads, use the
+// sharded form (shard.go) instead.
 func (w *Warp) RestoreFrom(in io.Reader) error {
 	d := sampler.NewDec(in)
 	d.Tag(warpStateTag)

@@ -109,11 +109,13 @@ type Sampler interface {
 	RestoreFrom(r io.Reader) error
 }
 
-// Sharded is implemented by samplers whose mutable state is physically
-// partitioned across workers (the distributed execution model). It is
-// what lets the checkpoint layer write one file per worker concurrently
-// — instead of funnelling every shard through StateTo's single stream —
-// and resume across topology changes.
+// Sharded is implemented by samplers whose mutable state is divided
+// among workers — physically partitioned tokens in the distributed
+// execution model, or per-worker row ranges of a shared token matrix
+// in the threaded shared-memory sampler. It is what lets the
+// checkpoint layer write one file per worker concurrently — instead
+// of funnelling every shard through StateTo's single stream — and
+// resume across topology changes (a different -threads).
 //
 // The shard streams written by ShardTo are a complete alternative
 // encoding of the sampler's state: restoring all of them via

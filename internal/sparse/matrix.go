@@ -222,6 +222,14 @@ func (v RowView) Data(i int) []int32 {
 	return v.m.data[s : s+int32(v.m.Stride)]
 }
 
+// EntryIndex returns the CSC entry index of the row's i-th entry: its
+// payload occupies Payloads()[idx*Stride : (idx+1)*Stride]. It lets
+// row-partitioned serializers address a scratch copy of the payload
+// array without going through the live Data view.
+func (v RowView) EntryIndex(i int) int {
+	return int(v.m.rowPtr[v.start+int32(i)])
+}
+
 // Column returns the view of column c.
 func (m *Matrix) Column(c int) ColView {
 	return ColView{m: m, start: m.colStart[c], n: m.colStart[c+1] - m.colStart[c]}

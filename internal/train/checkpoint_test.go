@@ -2,7 +2,6 @@ package train_test
 
 import (
 	"bytes"
-	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -13,22 +12,37 @@ import (
 )
 
 // writeTestCheckpoint trains a few iterations and returns the raw bytes
-// of a valid checkpoint plus the (corpus, config) it belongs to.
+// of a valid single-file checkpoint plus the (corpus, config) it
+// belongs to. Live Warp checkpoints are written as sharded directories
+// (core.Warp is sampler.Sharded), so the single-file envelope under
+// test is assembled by hand here — it remains the on-disk format of
+// legacy checkpoints and of non-sharded samplers, and Read must keep
+// rejecting every class of damage to it.
 func writeTestCheckpoint(t *testing.T) ([]byte, *checkpointEnv) {
 	t.Helper()
 	env := &checkpointEnv{c: testCorpus(20), cfg: testCfg(6)}
-	dir := t.TempDir()
-	res, err := train.Run(newWarp(t, env.c, env.cfg), env.c, env.cfg, train.Options{
-		Iters: 3, EvalEvery: 1, CheckpointDir: dir,
-	})
+	w := newWarp(t, env.c, env.cfg)
+	res, err := train.Run(w, env.c, env.cfg, train.Options{Iters: 3, EvalEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(res.CheckpointPath)
-	if err != nil {
+	var state bytes.Buffer
+	if err := w.StateTo(&state); err != nil {
 		t.Fatal(err)
 	}
-	return raw, env
+	ck := &train.Checkpoint{
+		Sampler:     w.Name(),
+		Cfg:         env.cfg,
+		Iter:        res.Iter,
+		Trace:       res.Run,
+		Fingerprint: train.CorpusFingerprint(env.c),
+		State:       state.Bytes(),
+	}
+	var buf bytes.Buffer
+	if _, err := ck.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), env
 }
 
 type checkpointEnv struct {

@@ -454,28 +454,20 @@ func TestLegacyShardedNameStillResumes(t *testing.T) {
 }
 
 // The legacy unstamped checkpoint.ckpt written by earlier releases
-// still loads — both directly and via its directory.
+// still loads — both directly and via its directory. (Live Warp runs
+// now checkpoint as sharded directories, so the single-file fixture is
+// built by writeTestCheckpoint.)
 func TestLegacyCheckpointStillLoads(t *testing.T) {
-	c := testCorpus(44)
-	cfg := testCfg(6)
-	dir := t.TempDir()
-	res, err := train.Run(newWarp(t, c, cfg), c, cfg, train.Options{Iters: 3, CheckpointDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ck, err := train.Load(res.CheckpointPath)
-	if err != nil {
-		t.Fatal(err)
-	}
+	raw, env := writeTestCheckpoint(t)
 	legacyDir := t.TempDir()
-	if _, err := ck.WriteFile(filepath.Join(legacyDir, train.DefaultFileName)); err != nil {
+	if err := os.WriteFile(filepath.Join(legacyDir, train.DefaultFileName), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	ck2, err := train.Load(legacyDir)
 	if err != nil {
 		t.Fatalf("legacy checkpoint directory rejected: %v", err)
 	}
-	if _, err := train.Run(newWarp(t, c, cfg), c, cfg, train.Options{Iters: 6, ResumeFrom: ck2}); err != nil {
+	if _, err := train.Run(newWarp(t, env.c, env.cfg), env.c, env.cfg, train.Options{Iters: 6, ResumeFrom: ck2}); err != nil {
 		t.Fatal(err)
 	}
 }
