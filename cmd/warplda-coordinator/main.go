@@ -1,0 +1,127 @@
+// Command warplda-coordinator runs the coordinator side of multi-node
+// distributed training (internal/dist): it owns the corpus, partitions
+// it across whatever workers register, relays token blocks between
+// them, aggregates the per-pass global count deltas, and commits
+// sharded checkpoints that double as the recovery log. Workers are
+// separate warplda-worker processes connecting over TCP.
+//
+// Fault tolerance is elastic: a worker dying mid-pass, a worker
+// joining mid-run, or this process itself restarting all land on the
+// same path — reform the cluster from the newest committed checkpoint
+// in -checkpoint-dir. Restarting the coordinator with live workers
+// requires no flags beyond the originals; the workers reconnect and
+// training resumes where the last checkpoint left it.
+//
+// Usage:
+//
+//	warplda-coordinator -corpus docword.nips.txt -topics 100 -iters 200 \
+//	    -addr :7077 -min-workers 2 -checkpoint-dir ckpt/
+//	warplda-worker -coordinator host:7077   # on each worker machine
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warplda/internal/corpus"
+	"warplda/internal/dist"
+	"warplda/internal/sampler"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":7077", "listen address for workers")
+		corpusPath = flag.String("corpus", "", "UCI bag-of-words file (required)")
+		topics     = flag.Int("topics", 100, "number of topics K")
+		alpha      = flag.Float64("alpha", 0, "document-topic prior (0 = paper default 50/K)")
+		beta       = flag.Float64("beta", 0.01, "topic-word prior")
+		m          = flag.Int("m", 2, "MH steps per token")
+		iters      = flag.Int("iters", 100, "training iterations (total, including resumed ones)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		minWorkers = flag.Int("min-workers", 1, "workers required before an epoch forms")
+		ckptDir    = flag.String("checkpoint-dir", "", "sharded checkpoint directory; doubles as the recovery log (required)")
+		ckptEvery  = flag.Int("checkpoint-every", 5, "sync interval in iterations: shard collection, evaluation, checkpoint commit")
+		ckptKeep   = flag.Int("checkpoint-keep", 3, "keep the newest N checkpoints")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "worker ping cadence")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 30*time.Second, "silence after which a worker is declared dead")
+	)
+	flag.Parse()
+
+	if *corpusPath == "" || *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "warplda-coordinator: -corpus and -checkpoint-dir are required")
+		flag.Usage()
+		return 2
+	}
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		return fatal(err)
+	}
+	c, err := corpus.ReadUCI(f)
+	f.Close()
+	if err != nil {
+		return fatal(err)
+	}
+	st := c.Stats()
+	log.Printf("corpus: %d docs, %d words, %d tokens", st.D, st.V, st.T)
+
+	cfg := sampler.PaperDefaults(*topics)
+	cfg.M = *m
+	cfg.Seed = *seed
+	cfg.Beta = *beta
+	if *alpha > 0 {
+		cfg.Alpha = *alpha
+	}
+
+	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Addr:              *addr,
+		Corpus:            c,
+		Cfg:               cfg,
+		Iters:             *iters,
+		MinWorkers:        *minWorkers,
+		CheckpointDir:     *ckptDir,
+		CheckpointEvery:   *ckptEvery,
+		CheckpointKeep:    *ckptKeep,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return fatal(err)
+	}
+	log.Printf("listening on %s (min %d workers)", co.Addr(), *minWorkers)
+
+	// SIGINT/SIGTERM cancel the serve loop; the newest committed
+	// checkpoint already holds everything a restart needs.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	trace, err := co.Serve(ctx)
+	if err != nil && ctx.Err() == nil {
+		return fatal(err)
+	}
+	for _, p := range trace.Points {
+		log.Printf("iter %4d  elapsed %8.1fs  logLik %.6e  tokens/s %.3e",
+			p.Iter, p.Elapsed.Seconds(), p.LogLik, p.TokensSec)
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted; resume by restarting with the same -checkpoint-dir")
+		return 1
+	}
+	log.Printf("training complete")
+	return 0
+}
+
+func fatal(err error) int {
+	fmt.Fprintf(os.Stderr, "warplda-coordinator: %v\n", err)
+	return 1
+}

@@ -121,8 +121,12 @@ func main() {
 	sv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Close the registry on the error path too: log.Fatalf here would
+	// exit with the hot-reload poller's cleanup never run.
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("warplda-serve: shutdown: %v", err)
+		reg.Close()
+		log.Printf("warplda-serve: shutdown: %v", err)
+		os.Exit(1)
 	}
 	reg.Close()
 	log.Print("drained; bye")

@@ -5,7 +5,6 @@ import (
 	"io"
 	"sync"
 
-	"warplda/internal/alias"
 	"warplda/internal/corpus"
 	"warplda/internal/rng"
 	"warplda/internal/sampler"
@@ -31,7 +30,9 @@ type Token struct {
 //
 // Distributed and core.Warp implement the same algorithm; core.Warp is
 // the optimized shared-memory path, Distributed the sharded path whose
-// convergence the Figure 6 / 9 experiments rely on.
+// convergence the Figure 6 / 9 experiments rely on. The phase bodies
+// themselves live in phase.go and are shared with the live multi-process
+// mode (internal/dist), which replaces the channels with TCP.
 type Distributed struct {
 	cfg  sampler.Config
 	c    *corpus.Corpus
@@ -43,22 +44,27 @@ type Distributed struct {
 	byCol [][]Token
 	ck    []int32
 
+	// rowTokens/colTokens are the exact token counts each worker owns in
+	// the doc and word phase respectively — known from the partition, and
+	// used to pre-size the receive buffers of the block exchange.
+	rowTokens []int64
+	colTokens []int64
+
 	// blockTokens is the send-block granularity of the pipelined
 	// exchange: Section 5.3.2 divides each partition into B×B blocks
 	// (B ∈ [2,10]) so finished blocks ship while later ones compute.
 	blockTokens int
 
-	workers []*dworker
-	asgBuf  [][]int32
-}
+	workers []*PhaseWorker
 
-type dworker struct {
-	r       *rng.RNG
-	counter tcount.Counter
-	topics  []int32
-	weights []float64
-	tab     alias.SparseTable
-	ckAcc   []int32
+	// Assignments regroup scratch, built lazily on first call and reused
+	// by every later one (the eval loop calls Assignments every reporting
+	// interval; rebuilding a tokens-sized map each time dominated eval).
+	asgBuf   [][]int32
+	docOff   []int     // cumulative doc offsets into the flat gather buffers
+	docOrder [][]int32 // per doc, token positions ordered by word id
+	gw, gz   []int32   // per-call (word, topic) gather buffers, len NumTokens
+	fill     []int32   // per-doc gather fill counters
 }
 
 // NewDistributed builds the sharded sampler over p workers.
@@ -84,10 +90,15 @@ func NewDistributed(c *corpus.Corpus, cfg sampler.Config, p int) (*Distributed, 
 		dl[di] = len(doc)
 	}
 	d.rows = sparse.GreedyPartition(dl, p)
+	d.rowTokens = d.rows.Loads(dl)
+	d.colTokens = d.cols.Loads(tf)
 
 	// Shard tokens by column owner with random initial assignments.
 	r := rng.New(cfg.Seed)
 	d.byCol = make([][]Token, p)
+	for i := range d.byCol {
+		d.byCol[i] = make([]Token, 0, d.colTokens[i])
+	}
 	for di, doc := range c.Docs {
 		for _, w := range doc {
 			z := int32(r.Intn(cfg.K))
@@ -102,20 +113,24 @@ func NewDistributed(c *corpus.Corpus, cfg sampler.Config, p int) (*Distributed, 
 	}
 
 	// B = 5 blocks per partition side (the middle of the paper's [2,10]).
-	const blocksPerSide = 5
-	d.blockTokens = c.NumTokens()/(p*p*blocksPerSide) + 1
+	d.blockTokens = BlockTokens(c.NumTokens(), p)
 
-	d.workers = make([]*dworker, p)
+	d.workers = make([]*PhaseWorker, p)
 	for i := range d.workers {
-		wk := &dworker{r: r.Split(), ckAcc: make([]int32, cfg.K)}
-		if cfg.K <= 1024 {
-			wk.counter = tcount.NewDense(cfg.K)
-		} else {
-			wk.counter = tcount.NewHash(256)
-		}
-		d.workers[i] = wk
+		d.workers[i] = NewPhaseWorker(cfg.K, r.Split())
 	}
 	return d, nil
+}
+
+// BlockTokens returns the send-block granularity of the pipelined
+// exchange for a corpus of the given token count over p workers: the
+// per-block token count that divides each partition side into the
+// paper's B=5 blocks (the middle of Section 5.3.2's [2,10] range). The
+// live coordinator ships this value to its workers so both execution
+// modes block identically.
+func BlockTokens(numTokens, p int) int {
+	const blocksPerSide = 5
+	return numTokens/(p*p*blocksPerSide) + 1
 }
 
 // Name implements sampler.Sampler. The name deliberately excludes the
@@ -124,27 +139,38 @@ func NewDistributed(c *corpus.Corpus, cfg sampler.Config, p int) (*Distributed, 
 // resume, shard.go). The count is observable via NumShards.
 func (d *Distributed) Name() string { return "WarpLDA-sharded" }
 
+// Partitions returns the row (document) and column (word) owner maps of
+// the current topology. The live coordinator ships them to its workers,
+// which route finished tokens by the same owner lookup the in-process
+// exchange uses. The returned slices are the sampler's own and must not
+// be mutated.
+func (d *Distributed) Partitions() (rows, cols []int32) {
+	return d.rows.Assign, d.cols.Assign
+}
+
 // Iterate implements sampler.Sampler: a pipelined word phase streaming
 // its finished blocks to the row owners, then a pipelined doc phase
 // streaming back to the column owners, then the ck allreduce.
 func (d *Distributed) Iterate() {
+	env := &PhaseEnv{Cfg: d.cfg, V: d.c.V, CK: d.ck}
+
 	// --- Word phase, overlapped with the col→row exchange ---
-	byRow := d.phaseAndExchange(d.byCol, false,
-		func(wk *dworker, group []Token) { d.wordGroup(wk, group) },
+	byRow := d.phaseAndExchange(d.byCol, false, d.rowTokens,
+		func(wk *PhaseWorker, group []Token) { env.WordGroup(wk, group) },
 		func(t Token) int32 { return d.rows.Assign[t.D] })
 
 	// --- Doc phase, overlapped with the row→col exchange ---
 	for _, wk := range d.workers {
-		clear(wk.ckAcc)
+		clear(wk.CkAcc)
 	}
-	d.byCol = d.phaseAndExchange(byRow, true,
-		func(wk *dworker, group []Token) { d.docGroup(wk, group) },
+	d.byCol = d.phaseAndExchange(byRow, true, d.colTokens,
+		func(wk *PhaseWorker, group []Token) { env.DocGroup(wk, group) },
 		func(t Token) int32 { return d.cols.Assign[t.W] })
 
 	// --- Allreduce ck ---
 	clear(d.ck)
 	for _, wk := range d.workers {
-		for k, v := range wk.ckAcc {
+		for k, v := range wk.CkAcc {
 			d.ck[k] += v
 		}
 	}
@@ -154,9 +180,11 @@ func (d *Distributed) Iterate() {
 // worker processes its shard group by group and ships tokens to their
 // next owner in blocks of blockTokens as soon as the block fills, while
 // the remaining groups are still being computed. Receivers drain their
-// channels concurrently; channels close when every sender is done.
-func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool,
-	process func(wk *dworker, group []Token), owner func(Token) int32) [][]Token {
+// channels concurrently into buffers pre-sized from the destination
+// partition's known token counts; channels close when every sender is
+// done.
+func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool, recvTokens []int64,
+	process func(wk *PhaseWorker, group []Token), owner func(Token) int32) [][]Token {
 
 	chans := make([]chan []Token, d.p)
 	for i := range chans {
@@ -166,11 +194,11 @@ func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool,
 	var senders sync.WaitGroup
 	for i, wk := range d.workers {
 		senders.Add(1)
-		go func(i int, wk *dworker) {
+		go func(i int, wk *PhaseWorker) {
 			defer senders.Done()
-			groupSort(shards[i], byRow)
+			GroupSort(shards[i], byRow)
 			buckets := make([][]Token, d.p)
-			forGroups(shards[i], byRow, func(group []Token) {
+			ForGroups(shards[i], byRow, func(group []Token) {
 				process(wk, group)
 				// Route the finished group's tokens; full blocks ship now.
 				for _, t := range group {
@@ -202,6 +230,7 @@ func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool,
 		receivers.Add(1)
 		go func(i int) {
 			defer receivers.Done()
+			out[i] = make([]Token, 0, recvTokens[i])
 			for b := range chans[i] {
 				out[i] = append(out[i], b...)
 			}
@@ -209,161 +238,6 @@ func (d *Distributed) phaseAndExchange(shards [][]Token, byRow bool,
 	}
 	receivers.Wait()
 	return out
-}
-
-// groupSort sorts tokens by doc (byRow) or word (byCol) with a simple
-// in-place quicksort so same-key tokens are contiguous.
-func groupSort(ts []Token, byRow bool) {
-	key := func(t Token) int32 {
-		if byRow {
-			return t.D
-		}
-		return t.W
-	}
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for hi-lo > 12 {
-			pivot := key(ts[(lo+hi)/2])
-			i, j := lo, hi
-			for i <= j {
-				for key(ts[i]) < pivot {
-					i++
-				}
-				for key(ts[j]) > pivot {
-					j--
-				}
-				if i <= j {
-					ts[i], ts[j] = ts[j], ts[i]
-					i++
-					j--
-				}
-			}
-			if j-lo < hi-i {
-				qs(lo, j)
-				lo = i
-			} else {
-				qs(i, hi)
-				hi = j
-			}
-		}
-		for i := lo + 1; i <= hi; i++ {
-			for j := i; j > lo && key(ts[j]) < key(ts[j-1]); j-- {
-				ts[j], ts[j-1] = ts[j-1], ts[j]
-			}
-		}
-	}
-	if len(ts) > 1 {
-		qs(0, len(ts)-1)
-	}
-}
-
-// forGroups calls fn on each maximal run of equal-key tokens.
-func forGroups(ts []Token, byRow bool, fn func(group []Token)) {
-	key := func(t Token) int32 {
-		if byRow {
-			return t.D
-		}
-		return t.W
-	}
-	for lo := 0; lo < len(ts); {
-		hi := lo + 1
-		for hi < len(ts) && key(ts[hi]) == key(ts[lo]) {
-			hi++
-		}
-		fn(ts[lo:hi])
-		lo = hi
-	}
-}
-
-// wordGroup is the word-phase body for one word's tokens: finish the
-// doc-proposal chains (π^doc), rebuild c_w, draw M word proposals.
-func (d *Distributed) wordGroup(wk *dworker, group []Token) {
-	k := d.cfg.K
-	beta := d.cfg.Beta
-	betaBar := beta * float64(d.c.V)
-	lw := len(group)
-	cw := wk.counter
-	resetCounter(cw, k, lw)
-	for _, t := range group {
-		cw.Incr(t.Data[0])
-	}
-	for _, t := range group {
-		s := t.Data[0]
-		for j := 1; j < len(t.Data); j++ {
-			prop := t.Data[j]
-			if prop == s {
-				continue
-			}
-			pi := (float64(cw.Get(prop)) + beta) / (float64(cw.Get(s)) + beta) *
-				(float64(d.ck[s]) + betaBar) / (float64(d.ck[prop]) + betaBar)
-			if pi >= 1 || wk.r.Float64() < pi {
-				s = prop
-			}
-		}
-		t.Data[0] = s
-	}
-	resetCounter(cw, k, lw)
-	for _, t := range group {
-		cw.Incr(t.Data[0])
-	}
-	wk.topics = wk.topics[:0]
-	wk.weights = wk.weights[:0]
-	cw.NonZero(func(kk, c int32) {
-		wk.topics = append(wk.topics, kk)
-		wk.weights = append(wk.weights, float64(c))
-	})
-	wk.tab.Build(wk.topics, wk.weights)
-	pCount := float64(lw) / (float64(lw) + float64(k)*beta)
-	for _, t := range group {
-		for j := 1; j < len(t.Data); j++ {
-			if wk.r.Float64() < pCount {
-				t.Data[j] = wk.tab.Draw(wk.r)
-			} else {
-				t.Data[j] = int32(wk.r.Intn(k))
-			}
-		}
-	}
-}
-
-// docGroup is the doc-phase body for one document's tokens: finish the
-// word-proposal chains (π^word), draw M doc proposals by positioning,
-// accumulate ck.
-func (d *Distributed) docGroup(wk *dworker, group []Token) {
-	k := d.cfg.K
-	alpha := d.cfg.Alpha
-	betaBar := d.cfg.Beta * float64(d.c.V)
-	ld := len(group)
-	cd := wk.counter
-	resetCounter(cd, k, ld)
-	for _, t := range group {
-		cd.Incr(t.Data[0])
-	}
-	for _, t := range group {
-		s := t.Data[0]
-		for j := 1; j < len(t.Data); j++ {
-			prop := t.Data[j]
-			if prop == s {
-				continue
-			}
-			pi := (float64(cd.Get(prop)) + alpha) / (float64(cd.Get(s)) + alpha) *
-				(float64(d.ck[s]) + betaBar) / (float64(d.ck[prop]) + betaBar)
-			if pi >= 1 || wk.r.Float64() < pi {
-				s = prop
-			}
-		}
-		t.Data[0] = s
-	}
-	pCount := float64(ld) / (float64(ld) + alpha*float64(k))
-	for _, t := range group {
-		for j := 1; j < len(t.Data); j++ {
-			if wk.r.Float64() < pCount {
-				t.Data[j] = group[wk.r.Intn(ld)].Data[0]
-			} else {
-				t.Data[j] = int32(wk.r.Intn(k))
-			}
-		}
-		wk.ckAcc[t.Data[0]]++
-	}
 }
 
 func resetCounter(c tcount.Counter, k, l int) {
@@ -393,7 +267,7 @@ func (d *Distributed) StateTo(out io.Writer) error {
 	e.Int(d.cfg.M)
 	e.I32s(d.ck)
 	for _, wk := range d.workers {
-		e.RNG(wk.r)
+		e.RNG(wk.R)
 	}
 	// Each shard as three flat arrays (cells then payloads) rather than
 	// per-token slices: at millions of tokens, per-token framing would
@@ -491,37 +365,62 @@ func (d *Distributed) RestoreFrom(in io.Reader) error {
 	d.byCol = byCol
 	copy(d.ck, ck)
 	for i, wk := range d.workers {
-		wk.r.SetState(rngs[i])
+		wk.R.SetState(rngs[i])
 	}
 	return nil
+}
+
+// initAssignmentScratch builds the regroup scratch Assignments reuses
+// across calls: the output buffer, the flat per-doc gather windows, and
+// each document's token order sorted by word id (fixed by the corpus,
+// so computed exactly once).
+func (d *Distributed) initAssignmentScratch() {
+	nd := len(d.c.Docs)
+	d.asgBuf = make([][]int32, nd)
+	d.docOrder = make([][]int32, nd)
+	d.docOff = make([]int, nd+1)
+	d.fill = make([]int32, nd)
+	for di, doc := range d.c.Docs {
+		d.asgBuf[di] = make([]int32, len(doc))
+		d.docOff[di+1] = d.docOff[di] + len(doc)
+		order := make([]int32, len(doc))
+		words := append([]int32(nil), doc...)
+		for n := range order {
+			order[n] = int32(n)
+		}
+		sortByWord(words, order)
+		d.docOrder[di] = order
+	}
+	total := d.docOff[nd]
+	d.gw = make([]int32, total)
+	d.gz = make([]int32, total)
 }
 
 // Assignments implements sampler.Sampler. Tokens are scrambled across
 // shards, so assignments are regrouped per (doc, word) cell; within a
 // cell topics are interchangeable, which keeps the log joint likelihood
-// well defined.
+// well defined. The regroup is a gather into flat per-doc windows plus
+// a by-word sort against each document's precomputed word order — all
+// scratch is allocated once and reused, so the eval loop's periodic
+// calls cost no steady-state allocation.
 func (d *Distributed) Assignments() [][]int32 {
 	if d.asgBuf == nil {
-		d.asgBuf = make([][]int32, len(d.c.Docs))
-		for di, doc := range d.c.Docs {
-			d.asgBuf[di] = make([]int32, len(doc))
-		}
+		d.initAssignmentScratch()
 	}
-	// Collect topics per (doc, word) cell.
-	cell := make(map[int64][]int32)
+	clear(d.fill)
 	for _, shard := range d.byCol {
 		for _, t := range shard {
-			key := int64(t.D)<<32 | int64(uint32(t.W))
-			cell[key] = append(cell[key], t.Data[0])
+			slot := d.docOff[t.D] + int(d.fill[t.D])
+			d.fill[t.D]++
+			d.gw[slot], d.gz[slot] = t.W, t.Data[0]
 		}
 	}
-	for di, doc := range d.c.Docs {
-		out := d.asgBuf[di]
-		for n, w := range doc {
-			key := int64(di)<<32 | int64(uint32(w))
-			list := cell[key]
-			out[n] = list[len(list)-1]
-			cell[key] = list[:len(list)-1]
+	for di := range d.asgBuf {
+		lo, hi := d.docOff[di], d.docOff[di+1]
+		sortByWord(d.gw[lo:hi], d.gz[lo:hi])
+		out, ord := d.asgBuf[di], d.docOrder[di]
+		for j := range out {
+			out[ord[j]] = d.gz[lo+j]
 		}
 	}
 	return d.asgBuf

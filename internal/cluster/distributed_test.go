@@ -178,10 +178,10 @@ func TestGroupSortAndForGroups(t *testing.T) {
 	ts := []Token{
 		{D: 3, W: 9}, {D: 1, W: 5}, {D: 3, W: 2}, {D: 2, W: 7}, {D: 1, W: 1},
 	}
-	groupSort(ts, true)
+	GroupSort(ts, true)
 	var order []int32
 	mixed := false
-	forGroups(ts, true, func(g []Token) {
+	ForGroups(ts, true, func(g []Token) {
 		order = append(order, g[0].D)
 		for _, tok := range g {
 			if tok.D != g[0].D {

@@ -8,6 +8,13 @@
 // repartitioning the tokens across the current topology. Worker RNG
 // streams survive bit-exactly when the count matches and are reseeded
 // via the documented rng.Derive strategy when it does not.
+//
+// The stream itself is factored out as EncodeWorkerState and
+// DecodeWorkerState so the live multi-process mode (internal/dist) can
+// put the SAME bytes on the wire: a shard uploaded by a live worker is
+// indistinguishable from one written by ShardTo, which is what lets the
+// coordinator feed worker uploads straight into RestoreShards and the
+// sharded checkpoint files straight back out to workers.
 package cluster
 
 import (
@@ -27,30 +34,44 @@ var _ sampler.Sharded = (*Distributed)(nil)
 // NumShards implements sampler.Sharded: one shard per worker.
 func (d *Distributed) NumShards() int { return d.p }
 
-// ShardTo implements sampler.Sharded: worker i's token shard (cells and
-// payloads as flat arrays, in shard order) plus its RNG stream. The
-// stream deliberately carries the shard index and total worker count,
-// so a shard file restored into the wrong slot — or mixed in from a
-// checkpoint of a different topology — is rejected by RestoreShards
-// even before the manifest-level checks run. Distinct shards may be
-// written concurrently: ShardTo only reads worker i's state.
-func (d *Distributed) ShardTo(i int, w io.Writer) error {
-	if i < 0 || i >= d.p {
-		return fmt.Errorf("cluster: shard %d of %d", i, d.p)
-	}
+// WorkerState is one worker's complete mutable state in the sharded
+// execution model: its position in the topology, its RNG stream, and
+// the tokens it owns. It is the unit both of sharded checkpoints
+// (ShardTo / RestoreShards) and of the live mode's shard transfer — the
+// coordinator assigns a WorkerState to each joining worker and collects
+// one back at every sync point.
+type WorkerState struct {
+	// Index is the shard's position; Workers the topology's worker count.
+	// A shard restored into the wrong slot, or mixed in from a checkpoint
+	// of a different topology, is rejected by these before any
+	// manifest-level checks run.
+	Index   int
+	Workers int
+	// M is the proposals-per-token count the payloads were written under.
+	M int
+	// RNGState is the owning worker's RNG stream.
+	RNGState [4]uint64
+	// Tokens is the shard body, in shard order.
+	Tokens []Token
+}
+
+// EncodeWorkerState writes st as a dshd stream. The three flat sections
+// (docs, words, payloads) are streamed in bounded chunks rather than
+// materialized: all P shards serialize concurrently at checkpoint time,
+// so per-shard flat copies would cost a full extra state-sized
+// allocation exactly when checkpointing a state near the memory
+// ceiling.
+func EncodeWorkerState(w io.Writer, st *WorkerState) error {
 	e := sampler.NewEnc(w)
 	e.Tag(shardStateTag)
-	e.Int(i)
-	e.Int(d.p)
-	e.Int(d.cfg.M)
-	e.RNG(d.workers[i].r)
-	shard := d.byCol[i]
+	e.Int(st.Index)
+	e.Int(st.Workers)
+	e.Int(st.M)
+	for _, u := range st.RNGState {
+		e.U64(u)
+	}
+	shard := st.Tokens
 	e.Int(len(shard))
-	// The three flat sections (docs, words, payloads) are streamed in
-	// bounded chunks rather than materialized: all P shards serialize
-	// concurrently, so per-shard flat copies would cost a full extra
-	// state-sized allocation exactly when checkpointing a state near
-	// the memory ceiling.
 	const chunk = 1 << 15
 	buf := make([]int32, 0, chunk)
 	flush := func() {
@@ -73,7 +94,7 @@ func (d *Distributed) ShardTo(i int, w io.Writer) error {
 		}
 	}
 	flush()
-	e.Int(len(shard) * (d.cfg.M + 1))
+	e.Int(len(shard) * (st.M + 1))
 	for _, t := range shard {
 		if len(buf)+len(t.Data) > chunk {
 			flush()
@@ -82,6 +103,70 @@ func (d *Distributed) ShardTo(i int, w io.Writer) error {
 	}
 	flush()
 	return e.Err()
+}
+
+// DecodeWorkerState reads one dshd stream and validates it structurally
+// against the given corpus shape: M must match m, every payload topic
+// must be in [0,k), every token cell must lie inside (numDocs, v), and
+// the token count must not exceed maxTokens. Cross-shard invariants —
+// index/topology agreement, the exact corpus token multiset — are the
+// caller's job (RestoreShards, or the coordinator's sync point).
+func DecodeWorkerState(r io.Reader, k, m, numDocs, v, maxTokens int) (*WorkerState, error) {
+	dec := sampler.NewDec(r)
+	dec.Tag(shardStateTag)
+	st := &WorkerState{}
+	st.Index = dec.Int()
+	st.Workers = dec.Int()
+	st.M = dec.Int()
+	if dec.Err() == nil && st.M != m {
+		return nil, fmt.Errorf("cluster: shard has M=%d, sampler has M=%d", st.M, m)
+	}
+	st.RNGState = dec.RNGState()
+	n := dec.Int()
+	if dec.Err() != nil {
+		return nil, dec.Err()
+	}
+	if n < 0 || n > maxTokens {
+		return nil, fmt.Errorf("cluster: shard has implausible %d tokens", n)
+	}
+	stride := m + 1
+	ds := dec.I32sLen("token docs", n)
+	ws := dec.I32sLen("token words", n)
+	payload := dec.I32sLen("token payloads", n*stride)
+	dec.CheckTopics("token payloads", payload, k)
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	toks := make([]Token, n)
+	for j := 0; j < n; j++ {
+		di, w := ds[j], ws[j]
+		if di < 0 || int(di) >= numDocs || w < 0 || int(w) >= v {
+			return nil, fmt.Errorf("cluster: shard token at cell (%d,%d) outside corpus", di, w)
+		}
+		toks[j] = Token{D: di, W: w, Data: payload[j*stride : (j+1)*stride : (j+1)*stride]}
+	}
+	st.Tokens = toks
+	return st, nil
+}
+
+// ShardTo implements sampler.Sharded: worker i's token shard (cells and
+// payloads as flat arrays, in shard order) plus its RNG stream. The
+// stream deliberately carries the shard index and total worker count,
+// so a shard file restored into the wrong slot — or mixed in from a
+// checkpoint of a different topology — is rejected by RestoreShards
+// even before the manifest-level checks run. Distinct shards may be
+// written concurrently: ShardTo only reads worker i's state.
+func (d *Distributed) ShardTo(i int, w io.Writer) error {
+	if i < 0 || i >= d.p {
+		return fmt.Errorf("cluster: shard %d of %d", i, d.p)
+	}
+	return EncodeWorkerState(w, &WorkerState{
+		Index:    i,
+		Workers:  d.p,
+		M:        d.cfg.M,
+		RNGState: d.workers[i].R.State(),
+		Tokens:   d.byCol[i],
+	})
 }
 
 // RestoreShards implements sampler.Sharded. shards holds the saved
@@ -101,53 +186,28 @@ func (d *Distributed) RestoreShards(salt uint64, shards []io.Reader) (reseeded b
 	if oldP < 1 {
 		return false, fmt.Errorf("cluster: restore with %d shards", oldP)
 	}
-	stride := d.cfg.M + 1
-	rngs := make([][4]uint64, oldP)
-	all := make([][]Token, oldP)
+	states := make([]*WorkerState, oldP)
 	total := 0
 	for i, r := range shards {
-		dec := sampler.NewDec(r)
-		dec.Tag(shardStateTag)
-		idx := dec.Int()
-		p := dec.Int()
-		m := dec.Int()
-		if dec.Err() == nil && idx != i {
-			return false, fmt.Errorf("cluster: shard in position %d identifies as shard %d (foreign or reordered shard file)", i, idx)
-		}
-		if dec.Err() == nil && p != oldP {
-			return false, fmt.Errorf("cluster: shard %d was written under %d workers, restore supplies %d shards", i, p, oldP)
-		}
-		if dec.Err() == nil && m != d.cfg.M {
-			return false, fmt.Errorf("cluster: shard %d has M=%d, sampler has M=%d", i, m, d.cfg.M)
-		}
-		rngs[i] = dec.RNGState()
-		n := dec.Int()
-		if dec.Err() != nil {
-			return false, dec.Err()
-		}
-		if n < 0 || total+n > d.c.NumTokens() {
-			return false, fmt.Errorf("cluster: shard %d has implausible %d tokens", i, n)
-		}
-		total += n
-		ds := dec.I32sLen("token docs", n)
-		ws := dec.I32sLen("token words", n)
-		payload := dec.I32sLen("token payloads", n*stride)
-		dec.CheckTopics("token payloads", payload, d.cfg.K)
-		if err := dec.Err(); err != nil {
+		st, err := DecodeWorkerState(r, d.cfg.K, d.cfg.M, d.c.NumDocs(), d.c.V, d.c.NumTokens()-total)
+		if err != nil {
 			return false, err
 		}
-		toks := make([]Token, n)
-		for j := 0; j < n; j++ {
-			di, w := ds[j], ws[j]
-			if di < 0 || int(di) >= d.c.NumDocs() || w < 0 || int(w) >= d.c.V {
-				return false, fmt.Errorf("cluster: shard %d token at cell (%d,%d) outside corpus", i, di, w)
-			}
-			toks[j] = Token{D: di, W: w, Data: payload[j*stride : (j+1)*stride : (j+1)*stride]}
+		if st.Index != i {
+			return false, fmt.Errorf("cluster: shard in position %d identifies as shard %d (foreign or reordered shard file)", i, st.Index)
 		}
-		all[i] = toks
+		if st.Workers != oldP {
+			return false, fmt.Errorf("cluster: shard %d was written under %d workers, restore supplies %d shards", i, st.Workers, oldP)
+		}
+		total += len(st.Tokens)
+		states[i] = st
 	}
 	if total != d.c.NumTokens() {
 		return false, fmt.Errorf("cluster: shards hold %d tokens, corpus has %d", total, d.c.NumTokens())
+	}
+	all := make([][]Token, oldP)
+	for i, st := range states {
+		all[i] = st.Tokens
 	}
 	if err := d.validateTokenMultiset(all); err != nil {
 		return false, err
@@ -170,12 +230,12 @@ func (d *Distributed) RestoreShards(salt uint64, shards []io.Reader) (reseeded b
 	copy(d.ck, ck)
 	if oldP == d.p {
 		for i, wk := range d.workers {
-			wk.r.SetState(rngs[i])
+			wk.R.SetState(states[i].RNGState)
 		}
 		return false, nil
 	}
 	for w, wk := range d.workers {
-		wk.r = rng.Derive(d.cfg.Seed, salt, uint64(d.p), uint64(w))
+		wk.R = rng.Derive(d.cfg.Seed, salt, uint64(d.p), uint64(w))
 	}
 	return true, nil
 }

@@ -141,7 +141,7 @@ func TestSameTopologyRestoreIsExact(t *testing.T) {
 		t.Fatal("restored shards differ from saved shards")
 	}
 	for i := range src.workers {
-		if dst.workers[i].r.State() != src.workers[i].r.State() {
+		if dst.workers[i].R.State() != src.workers[i].R.State() {
 			t.Fatalf("worker %d RNG stream not restored", i)
 		}
 	}

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x00},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	var b bytes.Buffer
+	for _, p := range payloads {
+		for _, typ := range []MsgType{MsgHello, MsgBlock, MsgShutdown} {
+			if err := WriteFrame(&b, typ, p); err != nil {
+				t.Fatalf("write %s: %v", typ, err)
+			}
+		}
+	}
+	for _, p := range payloads {
+		for _, typ := range []MsgType{MsgHello, MsgBlock, MsgShutdown} {
+			got, gp, err := ReadFrame(&b)
+			if err != nil {
+				t.Fatalf("read %s: %v", typ, err)
+			}
+			if got != typ {
+				t.Fatalf("type = %s, want %s", got, typ)
+			}
+			if !bytes.Equal(gp, p) {
+				t.Fatalf("%s payload mismatch: %d bytes, want %d", typ, len(gp), len(p))
+			}
+		}
+	}
+	if _, _, err := ReadFrame(&b); err != io.EOF {
+		t.Fatalf("trailing read = %v, want EOF", err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := func() []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, MsgPassStart, []byte("payload-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	t.Run("bad_magic", func(t *testing.T) {
+		f := frame()
+		f[0] ^= 0xFF
+		if _, _, err := ReadFrame(bytes.NewReader(f)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v, want bad magic", err)
+		}
+	})
+	t.Run("flipped_payload_byte", func(t *testing.T) {
+		f := frame()
+		f[11] ^= 0x01
+		if _, _, err := ReadFrame(bytes.NewReader(f)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum mismatch", err)
+		}
+	})
+	t.Run("flipped_type_byte", func(t *testing.T) {
+		f := frame()
+		f[4] ^= 0x01 // type is covered by the CRC too
+		if _, _, err := ReadFrame(bytes.NewReader(f)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum mismatch", err)
+		}
+	})
+	t.Run("flipped_trailer_byte", func(t *testing.T) {
+		f := frame()
+		f[len(f)-1] ^= 0x01
+		if _, _, err := ReadFrame(bytes.NewReader(f)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum mismatch", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		f := frame()
+		if _, _, err := ReadFrame(bytes.NewReader(f[:len(f)-2])); err == nil {
+			t.Fatal("truncated frame accepted")
+		}
+	})
+	t.Run("oversize_length", func(t *testing.T) {
+		f := frame()
+		// Length field claims more than MaxFramePayload; the reader must
+		// refuse before allocating.
+		f[5], f[6], f[7], f[8] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, _, err := ReadFrame(bytes.NewReader(f)); err == nil || !strings.Contains(err.Error(), "limit") {
+			t.Fatalf("err = %v, want payload limit", err)
+		}
+	})
+	t.Run("writer_refuses_oversize", func(t *testing.T) {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, MsgBlock, make([]byte, MaxFramePayload+1)); err == nil {
+			t.Fatal("oversize payload accepted")
+		}
+		if b.Len() != 0 {
+			t.Fatal("oversize write left partial bytes on the stream")
+		}
+	})
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	m := &Hello{Version: ProtoVersion, ID: "worker-7"}
+	got, err := DecodeHello(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || got.ID != m.ID {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+	if _, err := DecodeHello((&Hello{Version: 1}).Encode()); err == nil {
+		t.Fatal("empty worker ID accepted")
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	m := &Assign{
+		Epoch: 3, Slot: 1, P: 2, Iter: 40,
+		K: 8, Alpha: 0.6, Beta: 0.01, M: 2, Seed: 99,
+		V: 5, NumDocs: 4, NumTokens: 17, BlockTokens: 3,
+		Rows: []int32{0, 1, 0, 1}, Cols: []int32{1, 0, 1, 0, 1},
+		Shard: []byte("raw-dshd-stream-stand-in"),
+	}
+	got, err := DecodeAssign(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Slot != m.Slot || got.P != m.P || got.Iter != m.Iter ||
+		got.K != m.K || got.Alpha != m.Alpha || got.Beta != m.Beta || got.M != m.M ||
+		got.Seed != m.Seed || got.V != m.V || got.NumDocs != m.NumDocs ||
+		got.NumTokens != m.NumTokens || got.BlockTokens != m.BlockTokens {
+		t.Fatalf("scalar mismatch: got %+v", got)
+	}
+	if !bytes.Equal(got.Shard, m.Shard) {
+		t.Fatalf("shard bytes: got %q", got.Shard)
+	}
+
+	bad := *m
+	bad.Cols = []int32{1, 0, 5, 0, 1} // owner outside [0, P)
+	if _, err := DecodeAssign(bad.Encode()); err == nil {
+		t.Fatal("out-of-range column owner accepted")
+	}
+	bad = *m
+	bad.Slot = 2 // slot == P
+	if _, err := DecodeAssign(bad.Encode()); err == nil {
+		t.Fatal("slot >= P accepted")
+	}
+}
+
+func TestBlockRoundTripAndValidation(t *testing.T) {
+	const k, m, numDocs, v = 6, 2, 10, 12
+	b := &Block{
+		Epoch: 2, Iter: 9, Phase: PhaseDoc, From: 0, To: 1,
+		DS:      []int32{1, 4, 9},
+		WS:      []int32{0, 11, 3},
+		Payload: []int32{5, 0, 1, 2, 3, 4, 0, 5, 5},
+	}
+	got, err := DecodeBlock(b.Encode(), k, m, numDocs, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 2 || got.Iter != 9 || got.Phase != PhaseDoc || got.From != 0 || got.To != 1 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !equalI32(got.DS, b.DS) || !equalI32(got.WS, b.WS) || !equalI32(got.Payload, b.Payload) {
+		t.Fatal("array mismatch")
+	}
+
+	h, err := DecodeBlockHeader(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 2 || h.Iter != 9 || h.Phase != PhaseDoc || h.From != 0 || h.To != 1 {
+		t.Fatalf("block header mismatch: %+v", h)
+	}
+
+	bad := *b
+	bad.Payload = []int32{5, 0, 1, 2, 3, 4, 0, 5, int32(k)} // topic out of range
+	if _, err := DecodeBlock(bad.Encode(), k, m, numDocs, v); err == nil {
+		t.Fatal("out-of-range topic accepted")
+	}
+	bad = *b
+	bad.DS = []int32{1, 4, int32(numDocs)} // doc out of range
+	if _, err := DecodeBlock(bad.Encode(), k, m, numDocs, v); err == nil {
+		t.Fatal("out-of-range doc accepted")
+	}
+	bad = *b
+	bad.WS = []int32{0, 11} // length disagreement
+	if _, err := DecodeBlock(bad.Encode(), k, m, numDocs, v); err == nil {
+		t.Fatal("ragged arrays accepted")
+	}
+}
+
+func TestSmallMessageRoundTrips(t *testing.T) {
+	ps := &PassStart{Epoch: 1, Iter: 7, CK: []int32{3, 0, 5}}
+	gps, err := DecodePassStart(ps.Encode(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gps.Epoch != 1 || gps.Iter != 7 || !equalI32(gps.CK, ps.CK) {
+		t.Fatalf("pass-start mismatch: %+v", gps)
+	}
+	if _, err := DecodePassStart(ps.Encode(), 4); err == nil {
+		t.Fatal("wrong-K global counts accepted")
+	}
+
+	sy := &Sync{Epoch: 2, Iter: 8, Phase: PhaseWord, From: 3}
+	gsy, err := DecodeSync(sy.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gsy != *sy {
+		t.Fatalf("sync mismatch: %+v", gsy)
+	}
+
+	pe := &PassEnd{Epoch: 4, Iter: 11, From: 1, CkAcc: []int32{1, -2, 1}}
+	gpe, err := DecodePassEnd(pe.Encode(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpe.Epoch != 4 || gpe.Iter != 11 || gpe.From != 1 || !equalI32(gpe.CkAcc, pe.CkAcc) {
+		t.Fatalf("pass-end mismatch: %+v", gpe)
+	}
+
+	ss := &ShardState{Epoch: 5, Iter: 12, From: 0, Shard: []byte{1, 2, 3}}
+	gss, err := DecodeShardState(ss.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gss.Epoch != 5 || gss.Iter != 12 || gss.From != 0 || !bytes.Equal(gss.Shard, ss.Shard) {
+		t.Fatalf("shard-state mismatch: %+v", gss)
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+// Message payload schemas. Payloads are encoded with the same
+// little-endian length-prefixed codec as sampler state (sampler.Enc /
+// sampler.Dec); the two shard-bearing messages (Assign, ShardState)
+// end with a raw WARPSHRD "dshd" stream — the exact bytes ShardTo
+// writes into checkpoint shard files — so shard state needs no second
+// serialization format on the wire.
+package dist
+
+import (
+	"bytes"
+	"fmt"
+
+	"warplda/internal/sampler"
+)
+
+// ProtoVersion is the protocol revision carried in the handshake; a
+// coordinator refuses workers speaking a different revision.
+const ProtoVersion = 1
+
+// Phase identifiers inside Block / PhaseDone / Barrier messages.
+const (
+	PhaseWord = 0
+	PhaseDoc  = 1
+)
+
+// Hello is the worker's handshake: its protocol revision and its
+// stable identity. Reconnecting with the same ID is idempotent
+// re-registration — the coordinator treats it as the same worker
+// returning, not a new member.
+type Hello struct {
+	Version int
+	ID      string
+}
+
+// Encode serializes the message payload.
+func (m *Hello) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Version)
+	e.Str(m.ID)
+	return b.Bytes()
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(p []byte) (*Hello, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	m := &Hello{Version: d.Int(), ID: d.Str("worker id", 256)}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if m.ID == "" {
+		return nil, fmt.Errorf("dist: empty worker id")
+	}
+	return m, nil
+}
+
+// Assign hands a worker its place in a new epoch: the topology (slot,
+// worker count), the sampler configuration and corpus dimensions it
+// needs to run phase bodies and validate its shard, the routing tables
+// (row and column owner maps), the block granularity of the pipelined
+// exchange, and finally the worker's token-shard state as a raw dshd
+// stream.
+type Assign struct {
+	Epoch, Slot, P, Iter int
+	K                    int
+	Alpha, Beta          float64
+	M                    int
+	Seed                 uint64
+	V, NumDocs           int
+	NumTokens            int
+	BlockTokens          int
+	Rows, Cols           []int32
+	Shard                []byte // raw dshd stream, trailing
+}
+
+// Encode serializes the message payload.
+func (m *Assign) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Slot)
+	e.Int(m.P)
+	e.Int(m.Iter)
+	e.Int(m.K)
+	e.F64(m.Alpha)
+	e.F64(m.Beta)
+	e.Int(m.M)
+	e.U64(m.Seed)
+	e.Int(m.V)
+	e.Int(m.NumDocs)
+	e.Int(m.NumTokens)
+	e.Int(m.BlockTokens)
+	e.I32s(m.Rows)
+	e.I32s(m.Cols)
+	b.Write(m.Shard)
+	return b.Bytes()
+}
+
+// DecodeAssign parses an Assign payload.
+func DecodeAssign(p []byte) (*Assign, error) {
+	r := bytes.NewReader(p)
+	d := sampler.NewDec(r)
+	m := &Assign{
+		Epoch: d.Int(), Slot: d.Int(), P: d.Int(), Iter: d.Int(),
+		K: d.Int(), Alpha: d.F64(), Beta: d.F64(), M: d.Int(), Seed: d.U64(),
+		V: d.Int(), NumDocs: d.Int(), NumTokens: d.Int(), BlockTokens: d.Int(),
+	}
+	if d.Err() == nil {
+		if m.K < 1 || m.M < 1 || m.P < 1 || m.Slot < 0 || m.Slot >= m.P ||
+			m.V < 1 || m.NumDocs < 1 || m.NumTokens < 0 || m.BlockTokens < 1 {
+			return nil, fmt.Errorf("dist: assign with implausible dimensions")
+		}
+	}
+	m.Rows = d.I32sLen("row owners", m.NumDocs)
+	m.Cols = d.I32sLen("column owners", m.V)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for _, o := range m.Rows {
+		if o < 0 || int(o) >= m.P {
+			return nil, fmt.Errorf("dist: assign row owner %d outside %d workers", o, m.P)
+		}
+	}
+	for _, o := range m.Cols {
+		if o < 0 || int(o) >= m.P {
+			return nil, fmt.Errorf("dist: assign column owner %d outside %d workers", o, m.P)
+		}
+	}
+	m.Shard = p[len(p)-r.Len():]
+	return m, nil
+}
+
+// PassStart launches one training pass: the iteration number and the
+// pass's replicated global topic-count vector.
+type PassStart struct {
+	Epoch, Iter int
+	CK          []int32
+}
+
+// Encode serializes the message payload.
+func (m *PassStart) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Iter)
+	e.I32s(m.CK)
+	return b.Bytes()
+}
+
+// DecodePassStart parses a PassStart payload; k is the expected topic
+// count.
+func DecodePassStart(p []byte, k int) (*PassStart, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	m := &PassStart{Epoch: d.Int(), Iter: d.Int()}
+	m.CK = d.I32sLen("global counts", k)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Block ships a batch of finished tokens to their next owner. From and
+// To are worker slots; the coordinator relays the frame to To without
+// re-encoding it. Tokens travel as three flat arrays with the same
+// stride-(M+1) payload layout as the dshd stream.
+type Block struct {
+	Epoch, Iter, Phase, From, To int
+	DS, WS, Payload              []int32
+}
+
+// Encode serializes the message payload.
+func (m *Block) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Iter)
+	e.Int(m.Phase)
+	e.Int(m.From)
+	e.Int(m.To)
+	e.I32s(m.DS)
+	e.I32s(m.WS)
+	e.I32s(m.Payload)
+	return b.Bytes()
+}
+
+// DecodeBlock parses a Block payload and validates it structurally: the
+// arrays must agree with the stride, every topic must lie in [0, k),
+// every cell inside (numDocs, v). A corrupt or hostile peer must not be
+// able to panic the phase bodies.
+func DecodeBlock(p []byte, k, m, numDocs, v int) (*Block, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	b := &Block{Epoch: d.Int(), Iter: d.Int(), Phase: d.Int(), From: d.Int(), To: d.Int()}
+	b.DS = d.I32s("block docs")
+	b.WS = d.I32sLen("block words", len(b.DS))
+	b.Payload = d.I32sLen("block payloads", len(b.DS)*(m+1))
+	d.CheckTopics("block payloads", b.Payload, k)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for j := range b.DS {
+		if b.DS[j] < 0 || int(b.DS[j]) >= numDocs || b.WS[j] < 0 || int(b.WS[j]) >= v {
+			return nil, fmt.Errorf("dist: block token at cell (%d,%d) outside corpus", b.DS[j], b.WS[j])
+		}
+	}
+	return b, nil
+}
+
+// BlockHeader is the fixed prefix of a Block payload — everything the
+// coordinator needs to relay the frame. Decoding only this keeps the
+// relay path O(1) in the block size.
+type BlockHeader struct {
+	Epoch, Iter, Phase, From, To int
+}
+
+// DecodeBlockHeader parses just the routing prefix of a Block payload.
+func DecodeBlockHeader(p []byte) (*BlockHeader, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	h := &BlockHeader{Epoch: d.Int(), Iter: d.Int(), Phase: d.Int(), From: d.Int(), To: d.Int()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Sync is the shared shape of the small control messages: PhaseDone,
+// Barrier, PassEnd's header, ShardReq, ShardState's header, Abort.
+type Sync struct {
+	Epoch, Iter, Phase, From int
+}
+
+// Encode serializes the message payload.
+func (m *Sync) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Iter)
+	e.Int(m.Phase)
+	e.Int(m.From)
+	return b.Bytes()
+}
+
+// DecodeSync parses a Sync-shaped payload.
+func DecodeSync(p []byte) (*Sync, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	m := &Sync{Epoch: d.Int(), Iter: d.Int(), Phase: d.Int(), From: d.Int()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PassEnd reports a worker's completed pass along with its delta
+// contribution to the next global topic-count vector; the coordinator
+// sums these across workers (the once-per-pass allreduce).
+type PassEnd struct {
+	Epoch, Iter, From int
+	CkAcc             []int32
+}
+
+// Encode serializes the message payload.
+func (m *PassEnd) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Iter)
+	e.Int(m.From)
+	e.I32s(m.CkAcc)
+	return b.Bytes()
+}
+
+// DecodePassEnd parses a PassEnd payload; k is the expected topic count.
+func DecodePassEnd(p []byte, k int) (*PassEnd, error) {
+	d := sampler.NewDec(bytes.NewReader(p))
+	m := &PassEnd{Epoch: d.Int(), Iter: d.Int(), From: d.Int()}
+	m.CkAcc = d.I32sLen("ck delta", k)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ShardState uploads a worker's current shard as a raw dshd stream at a
+// sync point. The coordinator feeds the streams of all workers straight
+// into RestoreShards — the same validate-then-commit gate checkpoint
+// restore uses — before writing the checkpoint.
+type ShardState struct {
+	Epoch, Iter, From int
+	Shard             []byte // raw dshd stream, trailing
+}
+
+// Encode serializes the message payload.
+func (m *ShardState) Encode() []byte {
+	var b bytes.Buffer
+	e := sampler.NewEnc(&b)
+	e.Int(m.Epoch)
+	e.Int(m.Iter)
+	e.Int(m.From)
+	b.Write(m.Shard)
+	return b.Bytes()
+}
+
+// DecodeShardState parses a ShardState payload.
+func DecodeShardState(p []byte) (*ShardState, error) {
+	r := bytes.NewReader(p)
+	d := sampler.NewDec(r)
+	m := &ShardState{Epoch: d.Int(), Iter: d.Int(), From: d.Int()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	m.Shard = p[len(p)-r.Len():]
+	return m, nil
+}

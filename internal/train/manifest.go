@@ -28,6 +28,7 @@
 package train
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -167,6 +168,26 @@ func pruneCheckpoints(dir string, keep, current int) error {
 		}
 	}
 	return firstErr
+}
+
+// WriteSharded writes one complete sharded checkpoint for sh into
+// <dir>/checkpoint-<iter>/ and returns the checkpoint directory path.
+// It is the exported face of the trainer's own checkpoint step for
+// external orchestrators (the live coordinator, recovery tooling): the
+// caller fills the checkpoint's envelope — Sampler, Cfg, Iter, Elapsed,
+// Trace, Fingerprint — and this writes every shard concurrently, then
+// the manifest, atomically, last (the commit point).
+func (ck *Checkpoint) WriteSharded(dir string, sh sampler.Sharded) (string, error) {
+	return ck.writeSharded(dir, sh)
+}
+
+// PruneCheckpoints enforces keep-last-N retention in dir after a
+// successful checkpoint at iteration current, exactly as the trainer
+// does between iterations: all but the newest keep stamped checkpoints
+// are deleted, as are torn sharded directories other than the current
+// iteration's. The checkpoint just written is never deleted.
+func PruneCheckpoints(dir string, keep, current int) error {
+	return pruneCheckpoints(dir, keep, current)
 }
 
 // writeSharded writes one complete sharded checkpoint for sh into
@@ -352,62 +373,145 @@ func ReadManifest(dir string) (*Checkpoint, error) {
 // checkpoint), and the header's iteration / corpus fingerprint / shard
 // position — before any state reaches the sampler. It returns whether
 // worker RNG streams were reseeded (worker count changed).
+//
+// Shards are handed to RestoreShards as lazy readers that verify each
+// file in a streaming pass when first read and only then serve its
+// body: the sampler consumes shards one at a time, so at most one
+// shard's file buffer is resident beyond the decoded state itself.
+// (An earlier version materialized every raw shard body up front,
+// holding ~2× the full sampler state at the worst moment.)
+// Validate-then-commit is preserved: the file-level checks run before
+// a shard's first byte reaches the decoder, and RestoreShards itself
+// validates the union of all shards before committing any state.
 func (ck *Checkpoint) RestoreInto(sh sampler.Sharded) (reseeded bool, err error) {
 	if !ck.IsSharded() {
 		return false, fmt.Errorf("train: checkpoint is not sharded")
 	}
 	readers := make([]io.Reader, len(ck.ShardFiles))
+	shards := make([]*lazyShardReader, len(ck.ShardFiles))
 	for i := range ck.ShardFiles {
-		body, err := ck.readShardBody(i)
-		if err != nil {
-			return false, fmt.Errorf("train: shard %d (%s): %w", i, ck.ShardFiles[i], err)
-		}
-		readers[i] = bytes.NewReader(body)
+		shards[i] = &lazyShardReader{ck: ck, i: i}
+		readers[i] = shards[i]
 	}
+	defer func() {
+		for _, s := range shards {
+			s.close()
+		}
+	}()
 	return sh.RestoreShards(uint64(ck.Iter), readers)
 }
 
-// readShardBody reads, checksums, and envelope-validates shard i's
-// file, returning the sampler-level shard stream (the body after the
-// shard header, before the CRC trailer).
-func (ck *Checkpoint) readShardBody(i int) ([]byte, error) {
-	raw, err := os.ReadFile(filepath.Join(ck.Dir, ck.ShardFiles[i]))
+// lazyShardReader serves one shard file's sampler-level stream (the
+// body after the shard header, before the CRC trailer) to RestoreShards
+// without materializing it. The first Read triggers the verification
+// pass: the whole file is streamed through CRC32 and checked — size,
+// magic, trailer, the manifest's recorded CRC, header fields — with
+// only a copy buffer resident; the file is then rewound and the body
+// served through a buffered reader. A shard that fails any check never
+// yields a byte to the decoder.
+type lazyShardReader struct {
+	ck   *Checkpoint
+	i    int
+	f    *os.File
+	body io.Reader
+	err  error
+}
+
+func (s *lazyShardReader) Read(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.body == nil {
+		if err := s.open(); err != nil {
+			s.err = fmt.Errorf("train: shard %d (%s): %w", s.i, s.ck.ShardFiles[s.i], err)
+			return 0, s.err
+		}
+	}
+	return s.body.Read(p)
+}
+
+func (s *lazyShardReader) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	if s.err == nil {
+		s.err = fmt.Errorf("train: shard %d: read after restore", s.i)
+	}
+}
+
+// open runs the verification pass and positions the body reader.
+func (s *lazyShardReader) open() error {
+	ck, i := s.ck, s.i
+	f, err := os.Open(filepath.Join(ck.Dir, ck.ShardFiles[i]))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if int64(len(raw)) != ck.ShardSizes[i] {
-		return nil, fmt.Errorf("%d bytes, manifest records %d: truncated or foreign shard file", len(raw), ck.ShardSizes[i])
+	s.f = f
+	st, err := f.Stat()
+	if err != nil {
+		return err
 	}
-	if len(raw) < len(shardMagic)+4 || string(raw[:len(shardMagic)]) != shardMagic {
-		return nil, fmt.Errorf("not a checkpoint shard file (bad magic)")
+	if st.Size() != ck.ShardSizes[i] {
+		return fmt.Errorf("%d bytes, manifest records %d: truncated or foreign shard file", st.Size(), ck.ShardSizes[i])
 	}
-	body := raw[len(shardMagic) : len(raw)-4]
-	trailer := binary.LittleEndian.Uint32(raw[len(raw)-4:])
-	got := crc32.ChecksumIEEE(body)
+	bodyLen := st.Size() - int64(len(shardMagic)) - 4
+	if bodyLen < 4*8 {
+		return fmt.Errorf("not a checkpoint shard file (too short)")
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != shardMagic {
+		return fmt.Errorf("not a checkpoint shard file (bad magic)")
+	}
+	// Stream the body through the checksum; keep the fixed-size shard
+	// header (3 int64s + 1 uint64) aside for the envelope checks.
+	crc := crc32.NewIEEE()
+	header := make([]byte, 4*8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return err
+	}
+	crc.Write(header)
+	if _, err := io.Copy(crc, io.LimitReader(br, bodyLen-4*8)); err != nil {
+		return err
+	}
+	var trailerBuf [4]byte
+	if _, err := io.ReadFull(br, trailerBuf[:]); err != nil {
+		return err
+	}
+	trailer := binary.LittleEndian.Uint32(trailerBuf[:])
+	got := crc.Sum32()
 	if got != trailer {
-		return nil, fmt.Errorf("shard checksum mismatch (file %08x, computed %08x): torn or corrupt file", trailer, got)
+		return fmt.Errorf("shard checksum mismatch (file %08x, computed %08x): torn or corrupt file", trailer, got)
 	}
 	if got != ck.ShardCRCs[i] {
-		return nil, fmt.Errorf("shard checksum %08x does not match manifest's %08x: foreign shard file", got, ck.ShardCRCs[i])
+		return fmt.Errorf("shard checksum %08x does not match manifest's %08x: foreign shard file", got, ck.ShardCRCs[i])
 	}
-	d := sampler.NewDec(bytes.NewReader(body))
+	d := sampler.NewDec(bytes.NewReader(header))
 	iter := d.Int()
 	fp := uint32(d.U64())
 	idx := d.Int()
 	count := d.Int()
 	if err := d.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	if iter != ck.Iter {
-		return nil, fmt.Errorf("shard written at iteration %d, manifest says %d: foreign shard file", iter, ck.Iter)
+		return fmt.Errorf("shard written at iteration %d, manifest says %d: foreign shard file", iter, ck.Iter)
 	}
 	if fp != ck.Fingerprint {
-		return nil, fmt.Errorf("shard corpus fingerprint %08x does not match manifest's %08x: foreign shard file", fp, ck.Fingerprint)
+		return fmt.Errorf("shard corpus fingerprint %08x does not match manifest's %08x: foreign shard file", fp, ck.Fingerprint)
 	}
 	if idx != i || count != len(ck.ShardFiles) {
-		return nil, fmt.Errorf("shard identifies as %d of %d, manifest places it at %d of %d: foreign or reordered shard file",
+		return fmt.Errorf("shard identifies as %d of %d, manifest places it at %d of %d: foreign or reordered shard file",
 			idx, count, i, len(ck.ShardFiles))
 	}
-	// The fixed-size shard header: 3 int64s + 1 uint64.
-	return body[4*8:], nil
+	// Verified: rewind past magic and header and serve the stream.
+	if _, err := f.Seek(int64(len(shardMagic))+4*8, io.SeekStart); err != nil {
+		return err
+	}
+	s.body = bufio.NewReaderSize(io.LimitReader(f, bodyLen-4*8), 1<<16)
+	return nil
 }
