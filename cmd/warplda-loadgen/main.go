@@ -1,0 +1,555 @@
+// Command warplda-loadgen drives HTTP load against a running
+// warplda-serve instance and gates CI on serving-latency and
+// throughput regressions. It is the serve-path counterpart of
+// cmd/bench-ci: where bench-ci gates the sampler's tokens/s, loadgen
+// gates the end-to-end request path — admission queue, request
+// coalescing, engine dispatch, JSON encode — under realistic
+// concurrency.
+//
+// Two load modes:
+//
+//   - closed (default): -concurrency workers each keep exactly one
+//     request in flight; offered load adapts to the server's speed.
+//     Stable, the right mode for regression gating.
+//   - open: requests fire at a fixed -rate regardless of completions
+//     (in-flight capped at -concurrency; ticks past the cap count as
+//     client drops). Shows shedding behavior past saturation.
+//
+// Documents are synthetic: lengths drawn from the -doc-mix
+// distribution, word ids uniform over the target model's vocabulary
+// (discovered via GET /models/{name}, or set with -vocab).
+// Per-request latency lands in a log-linear histogram (~3% relative
+// error, matching the server's own /stats view).
+//
+// Usage:
+//
+//	warplda-loadgen -url http://localhost:8080 -model news \
+//	  -duration 30s -concurrency 8 -doc-mix 16:0.7,128:0.3 \
+//	  -out LOAD_$GITHUB_SHA.json \
+//	  -baseline ci/load-baseline.json -p99-budget 200ms -gate-min-cpus 4
+//
+// Gates (all optional, armed only when the runner has at least
+// -gate-min-cpus CPUs — latency budgets measured on starved CI
+// containers gate noise, not code):
+//
+//   - -p99-budget: absolute P99 latency ceiling.
+//   - -min-throughput: absolute requests/s floor.
+//   - -baseline + -max-regression: relative P99/throughput gate against
+//     a committed LOAD report, informational when the environment class
+//     (GOOS/GOARCH/Go version/CPUs) differs, exactly like bench-ci.
+//
+// -update-baseline writes the report as the new committed baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warplda/internal/hist"
+)
+
+// Report is the LOAD_<sha>.json document.
+type Report struct {
+	SHA       string `json:"sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU() on the load-generating side. Latency
+	// gates arm against it: P99 measured on a starved runner says
+	// nothing about the code (see envMatches and -gate-min-cpus).
+	CPUs int `json:"cpus"`
+
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+	DocMix      string  `json:"doc_mix"`
+	Sweeps      int     `json:"sweeps"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Requests = OK + Shed + Errors + Dropped. Shed counts 503s (the
+	// server's admission control working as designed); Errors counts
+	// everything else non-2xx plus transport failures; Dropped counts
+	// open-mode ticks skipped because all -concurrency slots were busy.
+	Requests      int64   `json:"requests"`
+	OK            int64   `json:"ok"`
+	Shed          int64   `json:"shed"`
+	Errors        int64   `json:"errors"`
+	Dropped       int64   `json:"dropped,omitempty"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// LatencyUs summarizes successful request latency in microseconds.
+	LatencyUs hist.Snapshot `json:"latency_us"`
+}
+
+// mixEntry is one document length and its sampling weight.
+type mixEntry struct {
+	length int
+	weight float64
+}
+
+// parseDocMix parses "LEN:WEIGHT,LEN:WEIGHT,..." ("16:0.7,128:0.3").
+// Weights are normalized; a bare "LEN" means weight 1.
+func parseDocMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lenStr, wStr, hasW := strings.Cut(part, ":")
+		length, err := strconv.Atoi(lenStr)
+		if err != nil || length <= 0 {
+			return nil, fmt.Errorf("bad doc length %q in mix %q", lenStr, s)
+		}
+		w := 1.0
+		if hasW {
+			if w, err = strconv.ParseFloat(wStr, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight %q in mix %q", wStr, s)
+			}
+		}
+		mix = append(mix, mixEntry{length, w})
+		total += w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty doc mix %q", s)
+	}
+	for i := range mix {
+		mix[i].weight /= total
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].length < mix[j].length })
+	return mix, nil
+}
+
+// sampleLen draws a document length from the mix.
+func sampleLen(mix []mixEntry, r *rand.Rand) int {
+	u := r.Float64()
+	for _, m := range mix {
+		if u < m.weight {
+			return m.length
+		}
+		u -= m.weight
+	}
+	return mix[len(mix)-1].length
+}
+
+// config is one load run, fully resolved (vocabulary discovered).
+type config struct {
+	url         string // infer endpoint
+	statsURL    string // base URL for discovery
+	model       string
+	mode        string
+	concurrency int
+	rate        float64
+	duration    time.Duration
+	warmup      time.Duration
+	mix         []mixEntry
+	mixSpec     string
+	sweeps      int
+	vocab       int
+	seed        int64
+	deadlineMs  int
+	client      *http.Client
+}
+
+// inferBody builds one request body with n uniform word ids.
+func (c *config) inferBody(r *rand.Rand) []byte {
+	n := sampleLen(c.mix, r)
+	var b bytes.Buffer
+	b.WriteString(`{"docs": [[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", r.Intn(c.vocab))
+	}
+	b.WriteString("]]")
+	if c.sweeps > 0 {
+		fmt.Fprintf(&b, `, "sweeps": %d`, c.sweeps)
+	}
+	b.WriteString("}")
+	return b.Bytes()
+}
+
+// counters aggregate worker outcomes.
+type counters struct {
+	requests atomic.Int64
+	ok       atomic.Int64
+	shed     atomic.Int64
+	errors   atomic.Int64
+	dropped  atomic.Int64
+}
+
+// shoot sends one inference request and records the outcome. Only
+// successful requests land in the latency histogram: shed requests
+// return fast by design and would flatter the quantiles.
+func shoot(c *config, body []byte, h *hist.Histogram, n *counters) {
+	n.requests.Add(1)
+	req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		n.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.Itoa(c.deadlineMs))
+	}
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		n.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		n.ok.Add(1)
+		h.Record(time.Since(start).Microseconds())
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		n.shed.Add(1)
+	default:
+		n.errors.Add(1)
+	}
+}
+
+// run executes one load phase (closed or open) for c.duration and
+// returns the report. A non-zero warmup runs the same load first and
+// discards its numbers, so engine caches and connection pools don't
+// pollute the measured window.
+func run(c *config) (*Report, error) {
+	if c.vocab <= 0 {
+		v, err := discoverVocab(c)
+		if err != nil {
+			return nil, err
+		}
+		c.vocab = v
+	}
+	if c.warmup > 0 {
+		w := *c
+		w.duration, w.warmup = c.warmup, 0
+		if _, err := run(&w); err != nil {
+			return nil, err
+		}
+	}
+	h := hist.New()
+	var n counters
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	switch c.mode {
+	case "closed":
+		for i := 0; i < c.concurrency; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(c.seed + int64(i)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					shoot(c, c.inferBody(r), h, &n)
+				}
+			}(i)
+		}
+	case "open":
+		if c.rate <= 0 {
+			return nil, fmt.Errorf("open mode needs -rate > 0")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slots := make(chan struct{}, c.concurrency)
+			r := rand.New(rand.NewSource(c.seed))
+			t := time.NewTicker(time.Duration(float64(time.Second) / c.rate))
+			defer t.Stop()
+			var inner sync.WaitGroup
+			defer inner.Wait()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+				}
+				select {
+				case slots <- struct{}{}:
+				default:
+					// All in-flight slots busy: an open-loop client drop,
+					// reported separately from server-side shedding.
+					n.dropped.Add(1)
+					continue
+				}
+				body := c.inferBody(r)
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					defer func() { <-slots }()
+					shoot(c, body, h, &n)
+				}()
+			}
+		}()
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want closed or open)", c.mode)
+	}
+	start := time.Now()
+	time.Sleep(c.duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	return &Report{
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Mode:          c.mode,
+		Concurrency:   c.concurrency,
+		RateRPS:       c.rate,
+		DocMix:        c.mixSpec,
+		Sweeps:        c.sweeps,
+		DurationSec:   elapsed,
+		Requests:      n.requests.Load(),
+		OK:            n.ok.Load(),
+		Shed:          n.shed.Load(),
+		Errors:        n.errors.Load(),
+		Dropped:       n.dropped.Load(),
+		ThroughputRPS: float64(n.ok.Load()) / elapsed,
+		LatencyUs:     h.Summary(),
+	}, nil
+}
+
+// discoverVocab asks the server for the model's vocabulary size. The
+// model may not be resident yet (state "available", V absent), so a
+// probe inference request forces the load first.
+func discoverVocab(c *config) (int, error) {
+	probe, err := http.NewRequest(http.MethodPost, c.url, strings.NewReader(`{"docs": [[0]]}`))
+	if err != nil {
+		return 0, err
+	}
+	probe.Header.Set("Content-Type", "application/json")
+	if resp, err := c.client.Do(probe); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := c.client.Get(c.statsURL + "/models/" + c.model)
+	if err != nil {
+		return 0, fmt.Errorf("discovering vocabulary: %w", err)
+	}
+	defer resp.Body.Close()
+	var mi struct {
+		V int `json:"v"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mi); err != nil {
+		return 0, fmt.Errorf("discovering vocabulary: %w", err)
+	}
+	if mi.V <= 0 {
+		return 0, fmt.Errorf("model %q reports no vocabulary size; pass -vocab", c.model)
+	}
+	return mi.V, nil
+}
+
+// envMatches reports whether the baseline was recorded in a comparable
+// environment class, mirroring bench-ci: on mismatch the comparison is
+// informational until the baseline is refreshed from this class.
+func envMatches(base, cur *Report) (bool, string) {
+	switch {
+	case base.GOOS != cur.GOOS:
+		return false, fmt.Sprintf("baseline GOOS %s vs %s", base.GOOS, cur.GOOS)
+	case base.GOARCH != cur.GOARCH:
+		return false, fmt.Sprintf("baseline GOARCH %s vs %s", base.GOARCH, cur.GOARCH)
+	case base.GoVersion != cur.GoVersion:
+		return false, fmt.Sprintf("baseline recorded with %s, running %s", base.GoVersion, cur.GoVersion)
+	case base.CPUs != cur.CPUs:
+		return false, fmt.Sprintf("baseline recorded on %d CPUs, running on %d", base.CPUs, cur.CPUs)
+	}
+	return true, ""
+}
+
+// gate applies the absolute and baseline gates to rep and returns the
+// violations. Baseline may be nil (no relative gate).
+func gate(rep, base *Report, p99Budget time.Duration, minThroughput, maxRegress float64) (violations []string) {
+	if rep.OK == 0 {
+		return []string{"no successful requests: nothing measured"}
+	}
+	if p99Budget > 0 && rep.LatencyUs.P99 > p99Budget.Microseconds() {
+		violations = append(violations, fmt.Sprintf(
+			"P99 %.1fms over budget %.1fms",
+			float64(rep.LatencyUs.P99)/1000, float64(p99Budget.Microseconds())/1000))
+	}
+	if minThroughput > 0 && rep.ThroughputRPS < minThroughput {
+		violations = append(violations, fmt.Sprintf(
+			"throughput %.1f req/s under floor %.1f req/s", rep.ThroughputRPS, minThroughput))
+	}
+	if base != nil {
+		if base.ThroughputRPS > 0 {
+			drop := (base.ThroughputRPS - rep.ThroughputRPS) / base.ThroughputRPS
+			if drop > maxRegress {
+				violations = append(violations, fmt.Sprintf(
+					"throughput %.1f req/s is %.1f%% below baseline %.1f req/s (max %.1f%%)",
+					rep.ThroughputRPS, drop*100, base.ThroughputRPS, maxRegress*100))
+			}
+		}
+		if base.LatencyUs.P99 > 0 {
+			growth := float64(rep.LatencyUs.P99-base.LatencyUs.P99) / float64(base.LatencyUs.P99)
+			if growth > maxRegress {
+				violations = append(violations, fmt.Sprintf(
+					"P99 %.1fms is %.1f%% above baseline %.1fms (max %.1f%%)",
+					float64(rep.LatencyUs.P99)/1000, growth*100,
+					float64(base.LatencyUs.P99)/1000, maxRegress*100))
+			}
+		}
+	}
+	return violations
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "warplda-loadgen: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:8080", "base URL of the warplda-serve instance")
+		model       = flag.String("model", "", "model name (default: the server's /infer default route)")
+		mode        = flag.String("mode", "closed", "load mode: closed (workers, one request in flight each) or open (fixed -rate)")
+		concurrency = flag.Int("concurrency", 8, "closed: worker count; open: max requests in flight")
+		rate        = flag.Float64("rate", 0, "open mode: offered requests per second")
+		duration    = flag.Duration("duration", 10*time.Second, "measured load duration")
+		warmup      = flag.Duration("warmup", time.Second, "warmup load before measuring (0 disables)")
+		docMix      = flag.String("doc-mix", "16:0.7,128:0.3", "document length mix LEN:WEIGHT,...")
+		sweeps      = flag.Int("sweeps", 0, "per-request sweep count (0 = server default)")
+		vocab       = flag.Int("vocab", 0, "word-id range for synthetic documents (0 = discover via /models/{name})")
+		seed        = flag.Int64("seed", 1, "document generator seed")
+		deadlineMs  = flag.Int("deadline-ms", 0, "X-Deadline-Ms header on every request (0 = none)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		out         = flag.String("out", "", "write the LOAD_<sha>.json report here")
+		sha         = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha recorded in the report")
+		baselineF   = flag.String("baseline", "", "committed baseline LOAD report to gate against")
+		maxRegress  = flag.Float64("max-regression", 0.25, "maximum fractional P99/throughput regression vs the baseline")
+		updateBase  = flag.String("update-baseline", "", "write a fresh baseline report here and exit")
+		p99Budget   = flag.Duration("p99-budget", 0, "absolute P99 latency ceiling (0 = off)")
+		minThrough  = flag.Float64("min-throughput", 0, "absolute requests/s floor (0 = off)")
+		gateMinCPUs = flag.Int("gate-min-cpus", 4, "arm the gates only when the runner has at least this many CPUs; below it violations are informational")
+	)
+	flag.Parse()
+
+	mix, err := parseDocMix(*docMix)
+	if err != nil {
+		fatal(err)
+	}
+	inferURL := strings.TrimRight(*url, "/") + "/infer"
+	if *model != "" {
+		inferURL = strings.TrimRight(*url, "/") + "/models/" + *model + "/infer"
+	}
+	cfg := &config{
+		url:         inferURL,
+		statsURL:    strings.TrimRight(*url, "/"),
+		model:       *model,
+		mode:        *mode,
+		concurrency: *concurrency,
+		rate:        *rate,
+		duration:    *duration,
+		warmup:      *warmup,
+		mix:         mix,
+		mixSpec:     *docMix,
+		sweeps:      *sweeps,
+		vocab:       *vocab,
+		seed:        *seed,
+		deadlineMs:  *deadlineMs,
+		client:      &http.Client{Timeout: *timeout},
+	}
+	if cfg.model == "" {
+		cfg.model = "default"
+		if cfg.vocab <= 0 {
+			fatal(fmt.Errorf("-vocab is required when no -model is named (discovery needs /models/{name})"))
+		}
+	}
+
+	rep, err := run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.OK == 0 {
+		// Not a gating question: zero successes means the target is down
+		// or misconfigured, on any runner size.
+		fatal(fmt.Errorf("no successful requests (%d shed, %d errors) — is %s serving?", rep.Shed, rep.Errors, *url))
+	}
+	rep.SHA = *sha
+	fmt.Printf("warplda-loadgen: %s %d workers, %.1fs: %d ok, %d shed, %d errors, %.1f req/s, P50 %.1fms P95 %.1fms P99 %.1fms\n",
+		rep.Mode, rep.Concurrency, rep.DurationSec, rep.OK, rep.Shed, rep.Errors, rep.ThroughputRPS,
+		float64(rep.LatencyUs.P50)/1000, float64(rep.LatencyUs.P95)/1000, float64(rep.LatencyUs.P99)/1000)
+
+	if *updateBase != "" {
+		if err := writeJSONFile(*updateBase, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warplda-loadgen: baseline %s updated\n", *updateBase)
+		return
+	}
+	if *out != "" {
+		if err := writeJSONFile(*out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warplda-loadgen: wrote %s\n", *out)
+	}
+
+	var base *Report
+	baseComparable := true
+	if *baselineF != "" {
+		data, err := os.ReadFile(*baselineF)
+		if err != nil {
+			fatal(err)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baselineF, err))
+		}
+		var why string
+		if baseComparable, why = envMatches(base, rep); !baseComparable {
+			fmt.Fprintf(os.Stderr, "warplda-loadgen: warning: %s — baseline comparison is informational; refresh with -update-baseline from this environment\n", why)
+		}
+	}
+
+	violations := gate(rep, base, *p99Budget, *minThrough, *maxRegress)
+	if len(violations) == 0 {
+		fmt.Println("warplda-loadgen: all gates passed")
+		return
+	}
+	// Arm the gates only on big-enough runners AND a comparable
+	// baseline class: a P99 from a starved 1-CPU container measures the
+	// scheduler, not the serve path.
+	armed := runtime.NumCPU() >= *gateMinCPUs && baseComparable
+	for _, v := range violations {
+		if armed {
+			fmt.Fprintf(os.Stderr, "warplda-loadgen: REGRESSION: %s\n", v)
+		} else {
+			fmt.Fprintf(os.Stderr, "warplda-loadgen: (not gated) %s\n", v)
+		}
+	}
+	if armed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "warplda-loadgen: gates informational (runner has %d CPUs, gating needs %d and a comparable baseline)\n",
+		runtime.NumCPU(), *gateMinCPUs)
+}

@@ -59,6 +59,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "inference worker goroutines per model (0 = GOMAXPROCS)")
 		maxBatch  = flag.Int("max-batch", 1024, "maximum documents per request")
 		seed      = flag.Uint64("seed", 42, "base RNG seed (responses are deterministic in it)")
+		coalesce  = flag.Bool("coalesce", true, "merge concurrent single-document requests into batched engine dispatches")
+		batchMax  = flag.Int("batch-max", 32, "documents per coalesced dispatch")
+		linger    = flag.Duration("batch-linger", time.Millisecond, "how long a forming batch waits for more requests")
+		queueDep  = flag.Int("queue-depth", 256, "admission queue bound per model; beyond it requests shed with 503")
+		deadline  = flag.Duration("default-deadline", 0, "server-side deadline for requests without X-Deadline-Ms (0 = none)")
 		readTO    = flag.Duration("read-timeout", 30*time.Second, "max duration for reading a full request, body included")
 		writeTO   = flag.Duration("write-timeout", 60*time.Second, "max duration per request including inference; must cover the slowest permitted batch (raise alongside -max-batch/large -sweeps)")
 		idleTO    = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -97,10 +102,15 @@ func main() {
 	}
 
 	sv, err := NewServer(reg, ServeOptions{
-		DefaultModel: def,
-		Sweeps:       *sweeps,
-		MaxBatch:     *maxBatch,
-		Seed:         *seed,
+		DefaultModel:    def,
+		Sweeps:          *sweeps,
+		MaxBatch:        *maxBatch,
+		Seed:            *seed,
+		Coalesce:        *coalesce,
+		BatchMax:        *batchMax,
+		BatchLinger:     *linger,
+		QueueDepth:      *queueDep,
+		DefaultDeadline: *deadline,
 	})
 	if err != nil {
 		log.Fatalf("warplda-serve: %v", err)
@@ -124,10 +134,12 @@ func main() {
 	// Close the registry on the error path too: log.Fatalf here would
 	// exit with the hot-reload poller's cleanup never run.
 	if err := srv.Shutdown(ctx); err != nil {
+		sv.Close()
 		reg.Close()
 		log.Printf("warplda-serve: shutdown: %v", err)
 		os.Exit(1)
 	}
+	sv.Close()
 	reg.Close()
 	log.Print("drained; bye")
 }

@@ -5,11 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"warplda/internal/corpus"
+	"warplda/internal/hist"
+	"warplda/internal/infer"
 	"warplda/internal/registry"
 )
 
@@ -31,6 +35,26 @@ type ServeOptions struct {
 	// Seed is the base RNG seed; per-document seeds are derived from it
 	// and the document content, so responses are deterministic.
 	Seed uint64
+
+	// Coalesce routes single-document requests through a per-model
+	// batcher that merges concurrent requests into one engine dispatch.
+	// Responses are byte-identical to uncoalesced inference (per-document
+	// seeds depend only on Seed and the document content, never on batch
+	// composition). Multi-document requests always dispatch directly.
+	Coalesce bool
+	// BatchMax, BatchLinger, and QueueDepth tune the batcher: documents
+	// per dispatch (0 = 32), how long a forming batch waits for company
+	// (0 = 1ms), and the bounded admission queue beyond which requests
+	// are shed with 503 (0 = 256). Ignored unless Coalesce is set.
+	BatchMax    int
+	BatchLinger time.Duration
+	QueueDepth  int
+	// DefaultDeadline is the admission deadline applied to inference
+	// requests that do not carry an X-Deadline-Ms header. A request
+	// whose deadline passes while it waits in the queue is shed with
+	// 503 + Retry-After instead of consuming engine time the client has
+	// already given up on. 0 means no default deadline.
+	DefaultDeadline time.Duration
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -86,6 +110,24 @@ type modelsResponse struct {
 	Models []registry.ModelInfo `json:"models"`
 }
 
+// batcherInfo is one model's request coalescer in the /stats reply.
+type batcherInfo struct {
+	infer.BatcherStats
+	QueueLen int `json:"queue_len"`
+}
+
+// statsResponse is the GET /stats reply: the serving-side view of
+// throughput and latency that cmd/warplda-loadgen and dashboards read.
+// LatencyUs summarizes successful inference handler time in
+// microseconds (log-linear histogram quantiles, ~3% relative error).
+type statsResponse struct {
+	Status     string                 `json:"status"`
+	DocsServed int64                  `json:"docs_served"`
+	LatencyUs  hist.Snapshot          `json:"latency_us"`
+	Registry   registry.Stats         `json:"registry"`
+	Batchers   map[string]batcherInfo `json:"batchers,omitempty"`
+}
+
 // Server routes multi-model inference and admin traffic onto a
 // registry. It implements http.Handler; Drain flips it into the
 // shutting-down state in which inference requests are refused with 503
@@ -96,6 +138,18 @@ type Server struct {
 	mux      *http.ServeMux
 	served   atomic.Int64
 	draining atomic.Bool
+
+	// latency records successful end-to-end inference handler time in
+	// microseconds, exposed as quantiles on GET /stats.
+	latency *hist.Histogram
+
+	// batchers holds one lazily-created request coalescer per model
+	// name (only when opts.Coalesce). dispatchWrap, when non-nil, wraps
+	// every batcher's dispatch function — a test hook for gating and
+	// fault injection; production leaves it nil.
+	batchMu      sync.Mutex
+	batchers     map[string]*infer.Batcher
+	dispatchWrap func(infer.Dispatch) infer.Dispatch
 }
 
 // NewServer builds the HTTP handler over reg. Models load lazily
@@ -106,7 +160,12 @@ func NewServer(reg *registry.Registry, opts ServeOptions) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("serve: nil registry")
 	}
-	s := &Server{reg: reg, opts: opts.withDefaults()}
+	s := &Server{
+		reg:      reg,
+		opts:     opts.withDefaults(),
+		latency:  hist.New(),
+		batchers: make(map[string]*infer.Batcher),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
 		if s.opts.DefaultModel == "" {
@@ -121,6 +180,7 @@ func NewServer(reg *registry.Registry, opts ServeOptions) (*Server, error) {
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /models/{name}", s.handleModelInfo)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	// Method-less fallbacks keep 405s on the JSON error contract
 	// (ServeMux's own 405 is plain text). The method-qualified patterns
 	// above are more specific and win for matching requests.
@@ -130,6 +190,7 @@ func NewServer(reg *registry.Registry, opts ServeOptions) (*Server, error) {
 		"/models":              "GET",
 		"/models/{name}":       "GET",
 		"/healthz":             "GET",
+		"/stats":               "GET",
 	} {
 		method := allow
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +218,13 @@ func (s *Server) acquire(w http.ResponseWriter, name string) (*registry.Snapshot
 	if err == nil {
 		return snap, true
 	}
+	s.writeRegistryError(w, err)
+	return nil, false
+}
+
+// writeRegistryError maps a registry lifecycle error onto the HTTP
+// admission-control contract.
+func (s *Server) writeRegistryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, registry.ErrNotFound) || errors.Is(err, registry.ErrBadName):
 		httpError(w, http.StatusNotFound, "%v", err)
@@ -173,7 +241,75 @@ func (s *Server) acquire(w http.ResponseWriter, name string) (*registry.Snapshot
 		// the server side is broken.
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	}
-	return nil, false
+}
+
+// errBadDocs marks engine-side document validation failures (word ids
+// out of the model's range) crossing the batcher boundary, so the
+// handler can keep them 400 while registry errors stay 404/503.
+var errBadDocs = errors.New("invalid document")
+
+// writeBatchError maps an error returned by a coalesced dispatch onto
+// HTTP: shed conditions are retryable 503s, validation failures are the
+// caller's 400, registry lifecycle errors keep their usual mapping.
+func (s *Server) writeBatchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, infer.ErrQueueFull), errors.Is(err, infer.ErrDeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, infer.ErrBatcherClosed):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, errBadDocs):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		s.writeRegistryError(w, err)
+	}
+}
+
+// batcherFor returns the model's request coalescer, creating it on
+// first use. The dispatch closure acquires the registry snapshot per
+// batch, so a hot swap lands between batches — every document in one
+// dispatch is answered by one model version, returned as the tag.
+func (s *Server) batcherFor(name string) *infer.Batcher {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if b := s.batchers[name]; b != nil {
+		return b
+	}
+	dispatch := func(docs [][]int32, sweeps []int) ([][]float64, any, error) {
+		snap, err := s.reg.Acquire(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		thetas, err := snap.Engine.InferBatchSweeps(docs, sweeps, s.opts.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", errBadDocs, err)
+		}
+		return thetas, snap, nil
+	}
+	if s.dispatchWrap != nil {
+		dispatch = s.dispatchWrap(dispatch)
+	}
+	b := infer.NewBatcher(dispatch, infer.BatcherOptions{
+		MaxBatch:   s.opts.BatchMax,
+		Linger:     s.opts.BatchLinger,
+		QueueDepth: s.opts.QueueDepth,
+	})
+	s.batchers[name] = b
+	return b
+}
+
+// Close drains every request coalescer: admission stops, queued work
+// completes. Call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.batchMu.Lock()
+	batchers := make([]*infer.Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.batchMu.Unlock()
+	for _, b := range batchers {
+		b.Close()
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +333,28 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		Stats:  s.reg.RegistryStats(),
 		Models: s.reg.List(),
 	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	resp := statsResponse{
+		Status:     status,
+		DocsServed: s.served.Load(),
+		LatencyUs:  s.latency.Summary(),
+		Registry:   s.reg.RegistryStats(),
+	}
+	s.batchMu.Lock()
+	if len(s.batchers) > 0 {
+		resp.Batchers = make(map[string]batcherInfo, len(s.batchers))
+		for name, b := range s.batchers {
+			resp.Batchers[name] = batcherInfo{BatcherStats: b.Stats(), QueueLen: b.QueueLen()}
+		}
+	}
+	s.batchMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
@@ -247,15 +405,45 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 	if sweeps > s.opts.MaxSweeps {
 		sweeps = s.opts.MaxSweeps
 	}
-
-	start := time.Now()
-	topics, err := snap.Engine.InferBatch(docs, sweeps, s.opts.Seed)
+	deadline, err := s.requestDeadline(r)
 	if err != nil {
-		// Word ids out of the model's range are a caller error.
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+
+	start := time.Now()
+	version := snap.Version
+	var topics [][]float64
+	if s.opts.Coalesce && len(docs) == 1 {
+		// Single-document requests coalesce: concurrent callers share
+		// one engine dispatch. Results are byte-identical to the direct
+		// path (per-document seeds ignore batch composition), and the
+		// answering snapshot comes back as the tag so the response
+		// reports the version that actually served it.
+		theta, tag, derr := s.batcherFor(name).Do(docs[0], sweeps, deadline)
+		if derr != nil {
+			s.writeBatchError(w, derr)
+			return
+		}
+		if tsnap, ok := tag.(*registry.Snapshot); ok {
+			version = tsnap.Version
+		}
+		topics = [][]float64{theta}
+	} else {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "%v", infer.ErrDeadlineExceeded)
+			return
+		}
+		topics, err = snap.Engine.InferBatch(docs, sweeps, s.opts.Seed)
+		if err != nil {
+			// Word ids out of the model's range are a caller error.
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	s.served.Add(int64(len(docs)))
+	s.latency.Record(time.Since(start).Microseconds())
 
 	top := make([]int, len(topics))
 	for i, theta := range topics {
@@ -267,11 +455,28 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 	}
 	writeJSON(w, http.StatusOK, inferResponse{
 		Model:   name,
-		Version: snap.Version,
+		Version: version,
 		Topics:  topics,
 		Top:     top,
 		TookMs:  float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// requestDeadline resolves a request's admission deadline: the
+// X-Deadline-Ms header (a client latency budget in milliseconds) wins,
+// else the server's DefaultDeadline, else none.
+func (s *Server) requestDeadline(r *http.Request) (time.Time, error) {
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			return time.Time{}, fmt.Errorf("bad X-Deadline-Ms %q: want a positive integer", h)
+		}
+		return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+	}
+	if s.opts.DefaultDeadline > 0 {
+		return time.Now().Add(s.opts.DefaultDeadline), nil
+	}
+	return time.Time{}, nil
 }
 
 // resolveDocs turns the request into token-id documents, tokenizing

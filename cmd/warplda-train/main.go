@@ -84,6 +84,7 @@ type trainFlags struct {
 	threads        int
 	budget         time.Duration
 	publish        string
+	publishKeep    int
 	stream         bool
 	corpusCache    string
 	maxResidentMB  int
@@ -126,6 +127,12 @@ func validateFlags(f trainFlags) error {
 			return err
 		}
 	}
+	if f.publishKeep < 0 {
+		return fmt.Errorf("-publish-keep = %d, want >= 0", f.publishKeep)
+	}
+	if f.publishKeep > 0 && f.publish == "" {
+		return fmt.Errorf("-publish-keep only applies with -publish")
+	}
 	known := append(append([]string(nil), warplda.Algorithms...), warplda.Distributed)
 	for _, a := range known {
 		if f.algo == a {
@@ -154,6 +161,7 @@ func run() int {
 		ckptKeep   = flag.Int("checkpoint-keep", 1, "keep the newest N iteration-stamped checkpoints (older ones are deleted after each successful checkpoint)")
 		resumePath = flag.String("resume", "", "resume from this checkpoint file (or its directory); reuses the checkpoint's configuration — pass the same -algo")
 		publish    = flag.String("publish", "", "after training, atomically install the model as <model-dir>/<name> for a running warplda-serve")
+		pubKeep    = flag.Int("publish-keep", 0, "keep only the newest N published @version snapshots, never the one latest points at (0 = keep all)")
 		budget     = flag.Duration("budget", 0, "wall-clock sampling budget (e.g. 2h30m); 0 = none")
 		stream     = flag.Bool("stream", false, "out-of-core ingestion: build (or reuse) a .warpcorpus cache and memory-map it instead of loading the corpus into RAM")
 		cacheDir   = flag.String("corpus-cache", "", "directory for the .warpcorpus cache (with -stream; default: the corpus file's directory)")
@@ -164,7 +172,8 @@ func run() int {
 	if err := validateFlags(trainFlags{
 		corpusPath: *corpusPath, algo: *algo, topics: *topics, m: *m,
 		iters: *iters, threads: *threads, budget: *budget, publish: *publish,
-		stream: *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
+		publishKeep: *pubKeep,
+		stream:      *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
 		checkpointKeep: *ckptKeep,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
@@ -413,6 +422,15 @@ func run() int {
 		}
 		fmt.Printf("model published as %q (%d bytes) and as latest %q -> %s (a watching warplda-serve hot-reloads it; roll back by re-pointing %s at an older @version)\n",
 			vName, n, name, vPath, latest)
+		if *pubKeep > 0 {
+			pruned, err := warplda.PruneModelVersions(*publish, *pubKeep)
+			if err != nil {
+				return fatal(err)
+			}
+			for _, p := range pruned {
+				fmt.Printf("pruned old version %s\n", p)
+			}
+		}
 	}
 	nTop := *maxTopics
 	if nTop > cfg.K {

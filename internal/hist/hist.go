@@ -1,0 +1,164 @@
+// Package hist is a fixed-memory log-linear histogram for latency
+// recording on hot request paths, in the HdrHistogram family: values
+// are bucketed by power-of-two magnitude, each magnitude split into 32
+// linear sub-buckets, so any recorded value is off by at most 1/32
+// (~3.2%) of itself — tight enough to gate tail latencies while the
+// whole histogram stays a few KiB regardless of how many values it has
+// absorbed.
+//
+// Recording is lock-free (one atomic add per sample) and safe for
+// concurrent use; reads (Quantile, Count, …) take a consistent-enough
+// snapshot for monitoring without stopping writers. The value unit is
+// the caller's choice — the serve path and loadgen both record
+// microseconds.
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// subBits is the log2 of the linear sub-buckets per power-of-two
+// magnitude; it fixes the histogram's relative error at 2^-subBits.
+const subBits = 5
+
+const subCount = 1 << subBits
+
+// maxMagnitude covers values up to 2^44 (≈ 200 days in microseconds),
+// far beyond any plausible request latency; larger values clamp into
+// the top bucket rather than being dropped.
+const maxMagnitude = 44
+
+const numBuckets = (maxMagnitude - subBits + 2) * subCount
+
+// Histogram records non-negative int64 values with bounded relative
+// error. The zero value is NOT ready to use; call New.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its bucket. Values < subCount land in
+// the exact linear range (error 0); above it, the top subBits bits
+// under the leading one select the sub-bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	mag := bits.Len64(uint64(v)) - 1 // position of the leading one, >= subBits
+	if mag > maxMagnitude {
+		return numBuckets - 1
+	}
+	sub := int((v >> (uint(mag) - subBits)) & (subCount - 1))
+	return (mag-subBits+1)*subCount + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket i, which is
+// also what Quantile reports for it (a ≤-biased estimate; the true
+// value is < bucketLow(i+1), one sub-bucket width above).
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	mag := i/subCount - 1 + subBits
+	sub := i % subCount
+	return (int64(1) << uint(mag)) | int64(sub)<<(uint(mag)-subBits)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded value (exact, not bucketed), or 0
+// when empty.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of recorded values, or 0 when
+// empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) of the
+// recorded values: the lower bound of the bucket holding the q·count-th
+// observation, so the estimate is within one sub-bucket width (≤ ~3.2%)
+// below the true value. Returns 0 on an empty histogram; Quantile(1)
+// returns the exact observed max.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max.Load()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot is a point-in-time summary of a histogram, shaped for JSON
+// reports (loadgen's LOAD_<sha>.json, the serve /stats endpoint). All
+// values are in the recorder's unit.
+type Snapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Summary returns the standard quantile snapshot.
+func (h *Histogram) Summary() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

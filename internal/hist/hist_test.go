@@ -1,0 +1,130 @@
+package hist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip pins the log-linear invariant: every value maps
+// to a bucket whose lower bound is at most the value and within the
+// guaranteed relative error (one sub-bucket width) below it, and
+// bucket indexes are monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000, 12345,
+		1 << 20, (1 << 20) + 12345, 1 << 40, (1 << 44) - 1}
+	prevIdx := -1
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < prevIdx {
+			t.Errorf("bucketIndex not monotone at %d: %d after %d", v, i, prevIdx)
+		}
+		prevIdx = i
+		low := bucketLow(i)
+		if low > v {
+			t.Errorf("bucketLow(%d) = %d > value %d", i, low, v)
+		}
+		if v >= subCount {
+			// Relative error bound: v - low < v / subCount * 2 (one
+			// sub-bucket at v's magnitude is at most v/subCount*2 wide).
+			width := float64(v) / subCount * 2
+			if float64(v-low) > width {
+				t.Errorf("value %d bucketed to %d: error %d exceeds width %g", v, low, v-low, width)
+			}
+		} else if low != v {
+			t.Errorf("linear range: value %d bucketed to %d, want exact", v, low)
+		}
+	}
+}
+
+// TestBucketEdges walks every power-of-two edge in range checking
+// index/low consistency.
+func TestBucketEdges(t *testing.T) {
+	for mag := subBits; mag <= maxMagnitude; mag++ {
+		v := int64(1) << uint(mag)
+		i := bucketIndex(v)
+		if got := bucketLow(i); got != v {
+			t.Fatalf("mag %d: bucketLow(bucketIndex(%d)) = %d", mag, v, got)
+		}
+		if i2 := bucketIndex(v - 1); i2 >= i {
+			t.Fatalf("mag %d: index(%d)=%d not below index(%d)=%d", mag, v-1, i2, v, i)
+		}
+	}
+	// Clamp: values past the top magnitude land in the last bucket.
+	if i := bucketIndex(math.MaxInt64); i != numBuckets-1 {
+		t.Fatalf("MaxInt64 bucketed to %d, want %d", i, numBuckets-1)
+	}
+}
+
+func TestQuantilesUniform(t *testing.T) {
+	h := New()
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Record(int64(i))
+	}
+	if h.Count() != n {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != n {
+		t.Fatalf("max %d", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, n * 0.50}, {0.90, n * 0.90}, {0.95, n * 0.95}, {0.99, n * 0.99}} {
+		got := float64(h.Quantile(tc.q))
+		// The estimate is ≤-biased by at most one sub-bucket (~2/32).
+		if got > tc.want || got < tc.want*(1-2.0/subCount)-1 {
+			t.Errorf("q%.2f = %g, want within one sub-bucket below %g", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); math.Abs(m-(n+1)/2.0) > 0.5 {
+		t.Errorf("mean %g, want %g", m, (n+1)/2.0)
+	}
+}
+
+func TestQuantileEmptyAndExtremes(t *testing.T) {
+	h := New()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(7)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-value q%g = %d, want 7", q, got)
+		}
+	}
+	h2 := New()
+	h2.Record(-5) // clamps to 0
+	if h2.Quantile(0.5) != 0 || h2.Max() != 0 {
+		t.Error("negative value did not clamp to 0")
+	}
+}
+
+// TestConcurrentRecord exercises the lock-free recording under the
+// race detector: total count and sum must be exact.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() != workers*per-1 {
+		t.Fatalf("max %d, want %d", h.Max(), workers*per-1)
+	}
+	s := h.Summary()
+	if s.Count != workers*per || s.P50 == 0 || s.P99 < s.P50 || s.Max < s.P99 {
+		t.Fatalf("summary inconsistent: %+v", s)
+	}
+}

@@ -83,6 +83,30 @@ type Engine struct {
 	zbSmooth float64
 	mh       int
 	workers  int
+
+	// scratchPool recycles per-call chain state (assignment vector,
+	// doc-topic counts, RNG) so the steady-state request path performs
+	// no per-token allocation beyond the returned θ̂.
+	scratchPool sync.Pool
+
+	// Serving counters; see Stats.
+	statDispatches atomic.Int64
+	statDocs       atomic.Int64
+}
+
+// EngineStats are cumulative serving counters. Dispatches counts
+// batch-entry invocations (InferBatch / InferBatchSweeps / Infer);
+// Docs counts documents folded in. A request coalescer in front of the
+// engine is observable here: N coalesced single-doc requests move Docs
+// by N but Dispatches by fewer than N.
+type EngineStats struct {
+	Dispatches int64 `json:"dispatches"`
+	Docs       int64 `json:"docs"`
+}
+
+// Stats returns the engine's cumulative serving counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Dispatches: e.statDispatches.Load(), Docs: e.statDocs.Load()}
 }
 
 // NewEngine validates p and precomputes the per-word proposal tables.
@@ -200,9 +224,22 @@ func (e *Engine) validateDoc(doc []int32) error {
 type scratch struct {
 	z  []int32
 	cd []int32
+	r  *rng.RNG
 }
 
-func newScratch(k int) *scratch { return &scratch{cd: make([]int32, k)} }
+func newScratch(k int) *scratch { return &scratch{cd: make([]int32, k), r: rng.New(0)} }
+
+// getScratch takes a scratch from the engine's pool (allocating on
+// first use); putScratch returns it. The contained RNG must be
+// reseeded by the caller before every chain.
+func (e *Engine) getScratch() *scratch {
+	if sc, ok := e.scratchPool.Get().(*scratch); ok {
+		return sc
+	}
+	return newScratch(e.p.K)
+}
+
+func (e *Engine) putScratch(sc *scratch) { e.scratchPool.Put(sc) }
 
 // inferInto runs the fold-in chain for one document and writes θ̂ into
 // theta (length K). doc must be pre-validated; r and sc must not be
@@ -287,8 +324,13 @@ func (e *Engine) Infer(doc []int32, sweeps int, seed uint64) ([]float64, error) 
 	if err := e.validateDoc(doc); err != nil {
 		return nil, err
 	}
+	e.statDispatches.Add(1)
+	e.statDocs.Add(1)
 	theta := make([]float64, e.p.K)
-	e.inferInto(doc, sweeps, rng.New(seed), newScratch(e.p.K), theta)
+	sc := e.getScratch()
+	sc.r.Seed(seed)
+	e.inferInto(doc, sweeps, sc.r, sc, theta)
+	e.putScratch(sc)
 	return theta, nil
 }
 
@@ -368,23 +410,44 @@ func docSeed(seed uint64, doc []int32) uint64 {
 // count. An invalid document fails the whole batch before any work
 // runs.
 func (e *Engine) InferBatch(docs [][]int32, sweeps int, seed uint64) ([][]float64, error) {
+	return e.inferBatch(docs, func(int) int { return sweeps }, seed)
+}
+
+// InferBatchSweeps is InferBatch with a per-document sweep count
+// (len(sweeps) must equal len(docs)). It exists for request
+// coalescers: concurrent requests that disagree on sweeps can still
+// share one worker-pool dispatch, and each document's result is
+// identical to what an uncoalesced InferBatch with its own sweep count
+// would return — the per-document seed depends only on (seed, doc).
+func (e *Engine) InferBatchSweeps(docs [][]int32, sweeps []int, seed uint64) ([][]float64, error) {
+	if len(sweeps) != len(docs) {
+		return nil, fmt.Errorf("infer: %d sweep counts for %d docs", len(sweeps), len(docs))
+	}
+	return e.inferBatch(docs, func(i int) int { return sweeps[i] }, seed)
+}
+
+func (e *Engine) inferBatch(docs [][]int32, sweepsFor func(int) int, seed uint64) ([][]float64, error) {
 	for i, doc := range docs {
 		if err := e.validateDoc(doc); err != nil {
 			return nil, fmt.Errorf("doc %d: %w", i, err)
 		}
 	}
+	e.statDispatches.Add(1)
+	e.statDocs.Add(int64(len(docs)))
 	out := make([][]float64, len(docs))
 	workers := e.workers
 	if workers > len(docs) {
 		workers = len(docs)
 	}
 	if workers <= 1 {
-		sc := newScratch(e.p.K)
+		sc := e.getScratch()
 		for i, doc := range docs {
 			theta := make([]float64, e.p.K)
-			e.inferInto(doc, sweeps, rng.New(docSeed(seed, doc)), sc, theta)
+			sc.r.Seed(docSeed(seed, doc))
+			e.inferInto(doc, sweepsFor(i), sc.r, sc, theta)
 			out[i] = theta
 		}
+		e.putScratch(sc)
 		return out, nil
 	}
 	var next atomic.Int64
@@ -393,14 +456,16 @@ func (e *Engine) InferBatch(docs [][]int32, sweeps int, seed uint64) ([][]float6
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(e.p.K)
+			sc := e.getScratch()
+			defer e.putScratch(sc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) {
 					return
 				}
 				theta := make([]float64, e.p.K)
-				e.inferInto(docs[i], sweeps, rng.New(docSeed(seed, docs[i])), sc, theta)
+				sc.r.Seed(docSeed(seed, docs[i]))
+				e.inferInto(docs[i], sweepsFor(i), sc.r, sc, theta)
 				out[i] = theta
 			}
 		}()

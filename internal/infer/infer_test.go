@@ -268,3 +268,107 @@ func TestNewEngineValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestInferBatchSweepsMatchesUncoalesced pins the coalescing contract:
+// a mixed-sweeps batch returns, for every document, exactly the result
+// an uncoalesced single-doc InferBatch with that document's own sweep
+// count would return — byte-identical, because the per-document seed
+// depends only on (seed, doc).
+func TestInferBatchSweepsMatchesUncoalesced(t *testing.T) {
+	p, _ := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]int32{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9, 10, 11}, {1, 1, 2}}
+	sweeps := []int{3, 7, 5, 12}
+	const seed = 99
+	got, err := eng.InferBatchSweeps(docs, sweeps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs {
+		want, err := eng.InferBatch([][]int32{doc}, sweeps[i], seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want[0]) {
+			t.Errorf("doc %d: coalesced result differs from uncoalesced", i)
+		}
+	}
+	if _, err := eng.InferBatchSweeps(docs, sweeps[:2], seed); err == nil {
+		t.Error("mismatched sweeps length accepted")
+	}
+}
+
+// TestEngineStatsCount pins the dispatch/doc counters the coalescing
+// tests (and the serve /stats endpoint) observe.
+func TestEngineStatsCount(t *testing.T) {
+	p, _ := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Dispatches != 0 || s.Docs != 0 {
+		t.Fatalf("fresh engine stats %+v", s)
+	}
+	if _, err := eng.InferBatch([][]int32{{0, 1}, {2, 3}, {4}}, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Infer([]int32{0, 1}, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Dispatches != 2 || s.Docs != 4 {
+		t.Fatalf("stats %+v, want 2 dispatches / 4 docs", s)
+	}
+	// Failed validation must not count as a dispatch.
+	if _, err := eng.InferBatch([][]int32{{-1}}, 3, 1); err == nil {
+		t.Fatal("invalid doc accepted")
+	}
+	if s := eng.Stats(); s.Dispatches != 2 {
+		t.Fatalf("failed batch counted as dispatch: %+v", s)
+	}
+}
+
+// TestInferSteadyStateAllocs is the allocation gate for the serving
+// hot path: after warm-up, a single-doc batch must allocate only the
+// result slices (θ̂ and the out slice), with chain scratch and RNG
+// coming from the engine's pool.
+func TestInferSteadyStateAllocs(t *testing.T) {
+	p, _ := trainedParams(t, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.InferBatch([][]int32{doc}, 5, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// out slice + theta + rounding slack; the pre-pool path allocated
+	// scratch (z + cd) and an RNG on every call on top of these.
+	if allocs > 4 {
+		t.Errorf("steady-state single-doc InferBatch does %.1f allocs/op, want <= 4", allocs)
+	}
+}
+
+// BenchmarkInferSingleDoc tracks the coalescable unit of serve-path
+// work (one single-doc dispatch) with allocation reporting. Named
+// outside the BenchmarkSample gate family on purpose: sub-microsecond
+// serve-path numbers would flap the 25% throughput gate.
+func BenchmarkInferSingleDoc(b *testing.B) {
+	p, _ := trainedParams(b, 0.1)
+	eng, err := infer.NewEngine(p, infer.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.InferBatch([][]int32{doc}, 5, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

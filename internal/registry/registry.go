@@ -30,6 +30,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -152,8 +154,28 @@ type Registry struct {
 	evicted int64     // total evictions, for stats
 	closed  bool
 
+	// Warm prefetch state: per base model name, at most one prebuilt
+	// snapshot of the newest versioned sibling (<base>@<iter>.bin) the
+	// poller has seen, keyed and matched by file identity. When the
+	// "latest" pointer swap lands, the reload is answered from here
+	// instead of paying the O(V·K) engine build. See prefetchScan.
+	warm         map[string]*warmEntry
+	prefetched   int64 // warm builds completed
+	prefetchHits int64 // loads answered from a warm snapshot
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// warmEntry is one prebuilt, not-yet-serving snapshot plus the
+// identity of the file it was built from.
+type warmEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+	ino   uint64
+	iter  int
+	snap  *Snapshot
 }
 
 // Open validates dir and returns a registry over it. No model is
@@ -172,6 +194,7 @@ func Open(dir string, opts Options) (*Registry, error) {
 		dir:     dir,
 		opts:    opts,
 		entries: make(map[string]*entry),
+		warm:    make(map[string]*warmEntry),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -331,6 +354,11 @@ func (r *Registry) admitAndLoad(name string) (*Snapshot, string, os.FileInfo, ti
 		r.evictFor(fi.Size(), nil)
 		r.mu.Unlock()
 	}
+	// A prefetched snapshot of this exact file (a versioned publish the
+	// poller warmed) answers the load without the read + engine build.
+	if snap := r.takeWarm(fi); snap != nil {
+		return snap, path, fi, 0, nil
+	}
 	snap, dur, err := r.readAndBuild(name, path)
 	if err != nil {
 		return nil, path, fi, 0, err
@@ -465,6 +493,31 @@ func (r *Registry) pollOnce() {
 	}
 	r.mu.Unlock()
 
+	// Drop warm snapshots whose base model is no longer resident (the
+	// swap they were built for can't be observed anymore).
+	ready := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		ready[c.name] = true
+	}
+	r.mu.Lock()
+	for base := range r.warm {
+		if !ready[base] {
+			delete(r.warm, base)
+		}
+	}
+	r.mu.Unlock()
+
+	// Warm prefetch BEFORE the reload sweep: a publish writes the
+	// versioned <name>@<iter>.bin first and swaps the latest pointer
+	// second, so building the newcomer's engine here means the swap —
+	// often observed later in this very sweep — installs a prebuilt
+	// snapshot instead of paying the cold O(V·K) build.
+	for _, c := range cands {
+		if !strings.Contains(c.name, "@") {
+			r.prefetchScan(c.name, c.size, c.mtime, c.ino)
+		}
+	}
+
 	for _, c := range cands {
 		fi, err := os.Stat(c.path)
 		if err != nil {
@@ -482,7 +535,7 @@ func (r *Registry) pollOnce() {
 			r.recordReloadError(c.name, err.Error())
 			continue
 		}
-		snap, dur, err := r.readAndBuild(c.name, path)
+		snap, dur, err := r.reloadSnapshot(c.name, path, pfi)
 		if err != nil {
 			r.recordReloadError(c.name, err.Error())
 			continue
@@ -509,6 +562,113 @@ func (r *Registry) pollOnce() {
 		r.evictFor(0, e)
 		r.mu.Unlock()
 	}
+}
+
+// reloadSnapshot produces the fresh snapshot for a changed model file:
+// from the warm prefetch cache when the new file is one the poller
+// already built (the hot-swap fast path — a publish never pays the
+// engine build on the serving side of the swap), else by reading and
+// building cold.
+func (r *Registry) reloadSnapshot(name, path string, pfi os.FileInfo) (*Snapshot, time.Duration, error) {
+	if snap := r.takeWarm(pfi); snap != nil {
+		return snap, 0, nil
+	}
+	return r.readAndBuild(name, path)
+}
+
+// versionedIterRE extracts the <iter> of a <base>@<iter>.bin sibling.
+var versionedIterRE = regexp.MustCompile(`^@(\d+)\.bin$`)
+
+// prefetchScan looks for versioned siblings <base>@<iter>.bin of a
+// resident base model and prebuilds the newest one's snapshot into the
+// warm cache. curSize/curMtime/curIno identify the file the base model
+// currently serves from: when the newest version IS that file (stat
+// follows the latest symlink, so identities coincide in steady state),
+// there is nothing to warm. The build runs on the poller goroutine,
+// off every request path, while the old snapshot keeps serving.
+func (r *Registry) prefetchScan(base string, curSize int64, curMtime time.Time, curIno uint64) {
+	des, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	bestIter := -1
+	var bestPath string
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), base+"@") {
+			continue
+		}
+		m := versionedIterRE.FindStringSubmatch(de.Name()[len(base):])
+		if m == nil {
+			continue
+		}
+		iter, err := strconv.Atoi(m[1])
+		if err != nil || iter <= bestIter {
+			continue
+		}
+		bestIter, bestPath = iter, filepath.Join(r.dir, de.Name())
+	}
+	if bestIter < 0 {
+		return
+	}
+	fi, err := os.Stat(bestPath)
+	if err != nil || !fi.Mode().IsRegular() {
+		return
+	}
+	ino := fileIno(fi)
+	if fi.Size() == curSize && fi.ModTime().Equal(curMtime) && ino == curIno {
+		// The newest version is what the base already serves: nothing
+		// pending. Drop any stale warm leftover for this base.
+		r.mu.Lock()
+		delete(r.warm, base)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	if w := r.warm[base]; w != nil && w.size == fi.Size() && w.mtime.Equal(fi.ModTime()) && w.ino == ino {
+		r.mu.Unlock() // already warmed
+		return
+	}
+	r.mu.Unlock()
+	if r.opts.MaxBytes > 0 && fi.Size() > r.opts.MaxBytes {
+		return // could never serve; don't build it
+	}
+	snap, _, err := r.readAndBuild(fmt.Sprintf("%s@%d", base, bestIter), bestPath)
+	if err != nil {
+		return // torn or mid-write; the next tick retries
+	}
+	if r.opts.MaxBytes > 0 && snap.Bytes > r.opts.MaxBytes {
+		return
+	}
+	r.mu.Lock()
+	r.warm[base] = &warmEntry{
+		path: bestPath, size: fi.Size(), mtime: fi.ModTime(), ino: ino,
+		iter: bestIter, snap: snap,
+	}
+	r.prefetched++
+	r.mu.Unlock()
+}
+
+// takeWarm returns a warm snapshot built from exactly the file fi
+// identifies, or nil. The identity match works across the latest
+// symlink: stat of the swapped pointer resolves to the versioned
+// target's inode, so the pointer swap consumes the snapshot prefetched
+// from the target. The entry stays cached (the versioned name and the
+// latest pointer may both load the same file); each consumer gets its
+// own shallow copy, because install mutates Version while the
+// underlying model and engine are immutable and shared. Stale entries
+// are pruned by the poller (prefetchScan and the eviction sweep).
+func (r *Registry) takeWarm(fi os.FileInfo) *Snapshot {
+	ino := fileIno(fi)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.warm {
+		if w.size == fi.Size() && w.mtime.Equal(fi.ModTime()) && w.ino == ino {
+			r.prefetchHits++
+			snap := *w.snap
+			return &snap
+		}
+	}
+	return nil
 }
 
 func (r *Registry) recordReloadError(name, msg string) {

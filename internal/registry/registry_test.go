@@ -414,3 +414,107 @@ func TestCloseStopsRegistry(t *testing.T) {
 		t.Fatalf("got %v, want ErrClosed", err)
 	}
 }
+
+// symlinkLatest atomically points <base>.bin at target (a sibling file
+// name), the way train-side publishing swaps the latest pointer: temp
+// symlink + rename.
+func symlinkLatest(t *testing.T, dir, base, target string) {
+	t.Helper()
+	tmp := filepath.Join(dir, ".latest-tmp")
+	os.Remove(tmp)
+	if err := os.Symlink(target, tmp); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, base+".bin")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmPrefetchServesPublishSwap(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{ReloadInterval: 2 * time.Millisecond})
+	writeModel(t, filepath.Join(dir, "news@10.bin"), tinyModel(t, 2, 1))
+	symlinkLatest(t, dir, "news", "news@10.bin")
+	if _, err := r.Acquire("news"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish the versioned file only — the latest pointer still targets
+	// @10. The poller must prebuild @20 without swapping anything.
+	writeModel(t, filepath.Join(dir, "news@20.bin"), tinyModel(t, 4, 2))
+	waitFor(t, 5*time.Second, "warm prefetch", func() bool {
+		return r.RegistryStats().Prefetched >= 1
+	})
+	st := r.RegistryStats()
+	if st.WarmReady != 1 {
+		t.Fatalf("WarmReady = %d, want 1", st.WarmReady)
+	}
+	snap, err := r.Acquire("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model.Cfg.K != 2 {
+		t.Fatalf("prefetch leaked into serving: K = %d, want 2", snap.Model.Cfg.K)
+	}
+
+	// The versioned name loads from the warm entry too: the cache is
+	// shared, not consumed, and each consumer gets its own Version.
+	// (This must happen before the swap — once @20 is serving, the
+	// poller prunes its warm entry as stale.)
+	vsnap, err := r.Acquire("news@20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vsnap.Model.Cfg.K != 4 || vsnap.Version != 1 {
+		t.Fatalf("versioned acquire: K = %d Version = %d", vsnap.Model.Cfg.K, vsnap.Version)
+	}
+	if got := r.RegistryStats().PrefetchHits; got < 1 {
+		t.Fatalf("PrefetchHits = %d, want >= 1", got)
+	}
+
+	// Swap the pointer. The reload must install the prebuilt snapshot:
+	// PrefetchHits advances and the recorded load duration is zero (no
+	// read, no engine build on the swap path).
+	symlinkLatest(t, dir, "news", "news@20.bin")
+	waitFor(t, 5*time.Second, "warm hot swap", func() bool {
+		mi, _ := r.Info("news")
+		return mi.Version >= 2
+	})
+	snap, err = r.Acquire("news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model.Cfg.K != 4 {
+		t.Fatalf("post-swap K = %d, want 4", snap.Model.Cfg.K)
+	}
+	if got := r.RegistryStats().PrefetchHits; got < 2 {
+		t.Fatalf("PrefetchHits = %d, want >= 2", got)
+	}
+	mi, _ := r.Info("news")
+	if mi.LoadMs != 0 {
+		t.Fatalf("swap paid a cold build: LoadMs = %v, want 0", mi.LoadMs)
+	}
+	if snap.Version != 2 || vsnap.Version != 1 {
+		t.Fatalf("shared warm snapshot leaked Version across consumers: base %d pinned %d", snap.Version, vsnap.Version)
+	}
+
+	// With @20 serving, the warm entry is stale; the poller sweeps it.
+	waitFor(t, 5*time.Second, "stale warm entry sweep", func() bool {
+		return r.RegistryStats().WarmReady == 0
+	})
+}
+
+func TestWarmPrefetchSteadyStateIsIdle(t *testing.T) {
+	dir, r := openTestRegistry(t, Options{ReloadInterval: 2 * time.Millisecond})
+	writeModel(t, filepath.Join(dir, "m@5.bin"), tinyModel(t, 2, 1))
+	symlinkLatest(t, dir, "m", "m@5.bin")
+	if _, err := r.Acquire("m"); err != nil {
+		t.Fatal(err)
+	}
+	// The newest versioned file IS the serving file (the symlink
+	// resolves to it), so nothing should ever be warmed.
+	time.Sleep(30 * time.Millisecond)
+	st := r.RegistryStats()
+	if st.Prefetched != 0 || st.WarmReady != 0 {
+		t.Fatalf("steady state warmed something: %+v", st)
+	}
+}

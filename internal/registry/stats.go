@@ -57,6 +57,14 @@ type Stats struct {
 	// drops over the registry's lifetime.
 	Ready     int   `json:"ready"`
 	Evictions int64 `json:"evictions"`
+	// Prefetched counts versioned snapshots the poller prebuilt ahead
+	// of a latest-pointer swap; PrefetchHits counts loads answered from
+	// one (a hit means the swap paid no engine build). WarmReady is the
+	// number of prebuilt snapshots currently waiting, at most one per
+	// base model; their bytes are NOT in BytesResident until installed.
+	Prefetched   int64 `json:"prefetched"`
+	PrefetchHits int64 `json:"prefetch_hits"`
+	WarmReady    int   `json:"warm_ready"`
 }
 
 func (e *entry) info() ModelInfo {
@@ -165,5 +173,8 @@ func (r *Registry) RegistryStats() Stats {
 		MaxBytes:      r.opts.MaxBytes,
 		Ready:         ready,
 		Evictions:     r.evicted,
+		Prefetched:    r.prefetched,
+		PrefetchHits:  r.prefetchHits,
+		WarmReady:     len(r.warm),
 	}
 }

@@ -2,6 +2,7 @@ package train_test
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -241,5 +242,65 @@ func TestVersionedPublishServesAndRollsBack(t *testing.T) {
 func TestPublishLatestRequiresSnapshot(t *testing.T) {
 	if _, err := train.PublishLatest(filepath.Join(t.TempDir(), "news"), 7); err == nil {
 		t.Fatal("latest pointer installed without its target")
+	}
+}
+
+// TestPrunePublishedVersions pins the version-GC contract: keep the
+// newest N pinned snapshots, never touch the latest pointer's target
+// (even when a rollback re-pointed it at an old version), never touch
+// files that are not this model's versions.
+func TestPrunePublishedVersions(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "news")
+	write := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{
+		"news@10.bin", "news@20.bin", "news@30.bin", "news@40.bin",
+		"news2@5.bin", // a different model's version
+		"news@7b.bin", // not a version at all
+	} {
+		write(name)
+	}
+	// Roll back: latest points at the OLDEST version. Pruning must keep
+	// it alive regardless of the keep window.
+	if _, err := train.PublishLatest(spec, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	pruned, err := train.PrunePublishedVersions(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || filepath.Base(pruned[0]) != "news@20.bin" {
+		t.Fatalf("pruned = %v, want exactly news@20.bin", pruned)
+	}
+	for _, name := range []string{"news@10.bin", "news@30.bin", "news@40.bin", "news2@5.bin", "news@7b.bin"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s should have survived pruning: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "news@20.bin")); err == nil {
+		t.Error("news@20.bin survived pruning")
+	}
+	// The latest pointer still resolves.
+	if _, err := os.Stat(filepath.Join(dir, "news.bin")); err != nil {
+		t.Errorf("latest pointer dangles: %v", err)
+	}
+
+	// A keep window wider than the history removes nothing.
+	pruned, err = train.PrunePublishedVersions(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 0 {
+		t.Fatalf("pruned = %v, want none", pruned)
+	}
+
+	if _, err := train.PrunePublishedVersions(spec, 0); err == nil {
+		t.Fatal("keep=0 accepted; it would delete every version")
 	}
 }

@@ -20,6 +20,9 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"warplda/internal/corpus"
@@ -348,4 +351,68 @@ func PublishLatest(spec string, iter int) (string, error) {
 		return "", fmt.Errorf("train: installing latest pointer: %w", err)
 	}
 	return latest, nil
+}
+
+// publishedVersionRE extracts the <iter> suffix of a pinned snapshot
+// file name, matched against the part after the base name.
+var publishedVersionRE = regexp.MustCompile(`^@(\d+)\.bin$`)
+
+// PrunePublishedVersions deletes the oldest pinned version snapshots
+// (<name>@<iter>.bin) of a publish target, keeping the newest keep of
+// them. The version the "latest" pointer currently targets survives
+// regardless of age — pruning must never dangle the pointer a serving
+// registry follows, even after a rollback re-pointed it at an old
+// version. Returns the paths removed.
+func PrunePublishedVersions(spec string, keep int) ([]string, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("train: -publish-keep %d, want >= 1", keep)
+	}
+	latest, name, err := PublishPath(spec)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(latest)
+	protected := ""
+	if target, err := os.Readlink(latest); err == nil {
+		protected = filepath.Base(target)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("train: pruning versions: %w", err)
+	}
+	type version struct {
+		iter int
+		file string
+	}
+	var vers []version
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), name+"@") {
+			continue
+		}
+		m := publishedVersionRE.FindStringSubmatch(de.Name()[len(name):])
+		if m == nil {
+			continue
+		}
+		iter, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		vers = append(vers, version{iter, de.Name()})
+	}
+	sort.Slice(vers, func(i, j int) bool { return vers[i].iter > vers[j].iter })
+	if keep > len(vers) {
+		keep = len(vers)
+	}
+	var pruned []string
+	for _, v := range vers[keep:] {
+		if v.file == protected {
+			continue
+		}
+		p := filepath.Join(dir, v.file)
+		if err := os.Remove(p); err != nil {
+			return pruned, fmt.Errorf("train: pruning versions: %w", err)
+		}
+		pruned = append(pruned, p)
+	}
+	return pruned, nil
 }

@@ -240,6 +240,14 @@ func PublishModelLatest(spec string, iter int) (string, error) {
 	return train.PublishLatest(spec, iter)
 }
 
+// PruneModelVersions deletes a publish target's oldest pinned
+// <name>@<iter>.bin snapshots, keeping the newest keep versions plus —
+// always — the one the latest pointer targets. It returns the removed
+// paths.
+func PruneModelVersions(spec string, keep int) ([]string, error) {
+	return train.PrunePublishedVersions(spec, keep)
+}
+
 // ListCheckpoints returns the iteration-stamped checkpoints retained in
 // a checkpoint directory (oldest first), each entry naming its path and
 // whether it is a sharded (manifest + shard files) checkpoint. See
