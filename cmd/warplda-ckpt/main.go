@@ -1,0 +1,338 @@
+// Command warplda-ckpt inspects the checkpoints a training run leaves
+// behind (see docs/FORMATS.md for the WARPCKPT, WARPSHRD, and WARPMANI
+// layouts):
+//
+//	warplda-ckpt list   -dir ckpts           # retained checkpoints: iter, kind, shards, bytes
+//	warplda-ckpt verify -dir ckpts           # deep-verify the newest checkpoint
+//	warplda-ckpt verify -dir ckpts -iter 40  # ... or a specific iteration
+//	warplda-ckpt diff   -dir ckpts -a 20 -b 40
+//
+// list shows what ListCheckpoints would offer a resuming run. verify
+// goes further than resume-time validation does by default: beyond the
+// manifest's own CRC and shard presence/size checks, it streams every
+// shard file end to end — magic, CRC32 trailer, the manifest's
+// recorded CRC (catching a self-consistent shard swapped in from a
+// different checkpoint), and the header's iteration / corpus
+// fingerprint / position — without restoring any state, so a multi-GB
+// checkpoint verifies in O(shard buffer) memory. diff compares two
+// checkpoints' envelopes: sampler, config, progress, corpus identity,
+// shard layout, and last traced log likelihood.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"text/tabwriter"
+
+	"warplda/internal/sampler"
+	"warplda/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "warplda-ckpt: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warplda-ckpt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  warplda-ckpt list   -dir <checkpoint-dir>
+  warplda-ckpt verify -dir <checkpoint-dir> [-iter N]
+  warplda-ckpt diff   -dir <checkpoint-dir> -a N -b N
+`)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("list: -dir is required")
+	}
+	entries, err := train.ListCheckpoints(*dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("no checkpoints")
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ITER\tKIND\tSHARDS\tBYTES\tPATH")
+	for _, e := range entries {
+		kind, shards := "file", "-"
+		if e.Sharded {
+			kind = "sharded"
+			if ck, err := train.ReadManifest(e.Path); err == nil {
+				shards = fmt.Sprint(len(ck.ShardFiles))
+			} else {
+				shards = "?"
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%s\n", e.Iter, kind, shards, checkpointBytes(e), e.Path)
+	}
+	return tw.Flush()
+}
+
+// checkpointBytes sums a checkpoint's on-disk size (manifest included
+// for the sharded shape); 0 if anything is unreadable.
+func checkpointBytes(e train.CheckpointEntry) int64 {
+	if !e.Sharded {
+		st, err := os.Stat(e.Path)
+		if err != nil {
+			return 0
+		}
+		return st.Size()
+	}
+	var total int64
+	des, err := os.ReadDir(e.Path)
+	if err != nil {
+		return 0
+	}
+	for _, de := range des {
+		if info, err := de.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// pick resolves -iter onto one retained checkpoint (the newest when
+// unset).
+func pick(dir string, iter int) (train.CheckpointEntry, error) {
+	entries, err := train.ListCheckpoints(dir)
+	if err != nil {
+		return train.CheckpointEntry{}, err
+	}
+	if len(entries) == 0 {
+		return train.CheckpointEntry{}, fmt.Errorf("%s: no checkpoints", dir)
+	}
+	if iter < 0 {
+		return entries[len(entries)-1], nil
+	}
+	for _, e := range entries {
+		if e.Iter == iter {
+			return e, nil
+		}
+	}
+	return train.CheckpointEntry{}, fmt.Errorf("%s: no checkpoint at iteration %d", dir, iter)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint directory")
+	iter := fs.Int("iter", -1, "iteration to verify (default: newest)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("verify: -dir is required")
+	}
+	e, err := pick(*dir, *iter)
+	if err != nil {
+		return err
+	}
+	ck, err := loadEnvelope(e)
+	if err != nil {
+		return err
+	}
+	printEnvelope(ck)
+	if ck.IsSharded() {
+		for i := range ck.ShardFiles {
+			if err := verifyShard(ck, i); err != nil {
+				return fmt.Errorf("shard %d (%s): %w", i, ck.ShardFiles[i], err)
+			}
+			fmt.Printf("shard %d (%s): %d bytes, crc %08x: OK\n",
+				i, ck.ShardFiles[i], ck.ShardSizes[i], ck.ShardCRCs[i])
+		}
+	}
+	fmt.Printf("%s: OK\n", e.Path)
+	return nil
+}
+
+// loadEnvelope reads a checkpoint's envelope without restoring state:
+// train.Load CRC-checks the whole single-file shape; ReadManifest
+// CRC-checks the manifest and confirms shard presence/size.
+func loadEnvelope(e train.CheckpointEntry) (*train.Checkpoint, error) {
+	if e.Sharded {
+		return train.ReadManifest(e.Path)
+	}
+	return train.Load(e.Path)
+}
+
+func printEnvelope(ck *train.Checkpoint) {
+	fmt.Printf("sampler      %s\n", ck.Sampler)
+	fmt.Printf("iteration    %d\n", ck.Iter)
+	fmt.Printf("elapsed      %s\n", ck.Elapsed)
+	fmt.Printf("config       K=%d alpha=%g beta=%g mh=%d threads=%d seed=%d\n",
+		ck.Cfg.K, ck.Cfg.Alpha, ck.Cfg.Beta, ck.Cfg.M, ck.Cfg.Threads, ck.Cfg.Seed)
+	fmt.Printf("fingerprint  %08x\n", ck.Fingerprint)
+	if n := len(ck.Trace.Points); n > 0 {
+		p := ck.Trace.Points[n-1]
+		fmt.Printf("last eval    iter=%d logLik=%.6e tokens/s=%.3e\n", p.Iter, p.LogLik, p.TokensSec)
+	}
+	if ck.IsSharded() {
+		fmt.Printf("shards       %d\n", len(ck.ShardFiles))
+	}
+}
+
+// shardMagic mirrors internal/train's per-shard file magic; the layout
+// is pinned by docs/FORMATS.md and the format tests.
+const shardMagic = "WARPSHRD\x01"
+
+// verifyShard streams one shard file through the full resume-time
+// check sequence (the same one train's lazyShardReader runs before a
+// byte reaches the sampler): recorded size, magic, CRC32 trailer over
+// the body, the manifest's CRC for this slot, and the header's
+// iteration / fingerprint / position fields.
+func verifyShard(ck *train.Checkpoint, i int) error {
+	f, err := os.Open(filepath.Join(ck.Dir, ck.ShardFiles[i]))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() != ck.ShardSizes[i] {
+		return fmt.Errorf("%d bytes, manifest records %d", st.Size(), ck.ShardSizes[i])
+	}
+	const headerLen = 4 * 8
+	bodyLen := st.Size() - int64(len(shardMagic)) - 4
+	if bodyLen < headerLen {
+		return fmt.Errorf("not a checkpoint shard file (too short)")
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != shardMagic {
+		return fmt.Errorf("not a checkpoint shard file (bad magic)")
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(header)
+	if _, err := io.Copy(crc, io.LimitReader(br, bodyLen-headerLen)); err != nil {
+		return err
+	}
+	var trailerBuf [4]byte
+	if _, err := io.ReadFull(br, trailerBuf[:]); err != nil {
+		return err
+	}
+	trailer := binary.LittleEndian.Uint32(trailerBuf[:])
+	if got := crc.Sum32(); got != trailer {
+		return fmt.Errorf("checksum mismatch (file %08x, computed %08x): torn or corrupt file", trailer, got)
+	}
+	if trailer != ck.ShardCRCs[i] {
+		return fmt.Errorf("checksum %08x does not match manifest's %08x: foreign shard file", trailer, ck.ShardCRCs[i])
+	}
+	d := sampler.NewDec(bytes.NewReader(header))
+	iter := d.Int()
+	fp := uint32(d.U64())
+	idx := d.Int()
+	count := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if iter != ck.Iter {
+		return fmt.Errorf("written at iteration %d, manifest says %d", iter, ck.Iter)
+	}
+	if fp != ck.Fingerprint {
+		return fmt.Errorf("corpus fingerprint %08x, manifest says %08x", fp, ck.Fingerprint)
+	}
+	if idx != i || count != len(ck.ShardFiles) {
+		return fmt.Errorf("identifies as %d of %d, manifest places it at %d of %d",
+			idx, count, i, len(ck.ShardFiles))
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint directory")
+	a := fs.Int("a", -1, "first iteration")
+	b := fs.Int("b", -1, "second iteration")
+	fs.Parse(args)
+	if *dir == "" || *a < 0 || *b < 0 {
+		return fmt.Errorf("diff: -dir, -a, and -b are required")
+	}
+	ea, err := pick(*dir, *a)
+	if err != nil {
+		return err
+	}
+	eb, err := pick(*dir, *b)
+	if err != nil {
+		return err
+	}
+	cka, err := loadEnvelope(ea)
+	if err != nil {
+		return err
+	}
+	ckb, err := loadEnvelope(eb)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "FIELD\t@%d\t@%d\n", cka.Iter, ckb.Iter)
+	diffRow(tw, "sampler", cka.Sampler, ckb.Sampler)
+	diffRow(tw, "iteration", cka.Iter, ckb.Iter)
+	diffRow(tw, "elapsed", cka.Elapsed, ckb.Elapsed)
+	diffRow(tw, "K", cka.Cfg.K, ckb.Cfg.K)
+	diffRow(tw, "alpha", cka.Cfg.Alpha, ckb.Cfg.Alpha)
+	diffRow(tw, "beta", cka.Cfg.Beta, ckb.Cfg.Beta)
+	diffRow(tw, "mh", cka.Cfg.M, ckb.Cfg.M)
+	diffRow(tw, "threads", cka.Cfg.Threads, ckb.Cfg.Threads)
+	diffRow(tw, "seed", cka.Cfg.Seed, ckb.Cfg.Seed)
+	diffRow(tw, "fingerprint", fmt.Sprintf("%08x", cka.Fingerprint), fmt.Sprintf("%08x", ckb.Fingerprint))
+	diffRow(tw, "shards", len(cka.ShardFiles), len(ckb.ShardFiles))
+	diffRow(tw, "logLik", lastLL(cka), lastLL(ckb))
+	return tw.Flush()
+}
+
+// diffRow prints one comparison row, flagging differing values.
+func diffRow(w io.Writer, field string, a, b any) {
+	marker := ""
+	if !reflect.DeepEqual(a, b) {
+		marker = "  <-- differs"
+	}
+	fmt.Fprintf(w, "%s\t%v\t%v%s\n", field, a, b, marker)
+}
+
+func lastLL(ck *train.Checkpoint) string {
+	if n := len(ck.Trace.Points); n > 0 {
+		return fmt.Sprintf("%.6e", ck.Trace.Points[n-1].LogLik)
+	}
+	return "-"
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"warplda/internal/cluster"
+	"warplda/internal/core"
+	"warplda/internal/corpus"
+	"warplda/internal/sampler"
+	"warplda/internal/train"
+)
+
+// buildCheckpoints produces a realistic retention directory: two
+// sharded checkpoints (iterations 2 and 4, written by a 2-worker
+// distributed run) plus a hand-assembled single-file checkpoint at
+// iteration 6 — the shape a dir reaches when a run is migrated between
+// sampler kinds.
+func buildCheckpoints(t *testing.T) (string, sampler.Config) {
+	t.Helper()
+	c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+		D: 60, V: 80, K: 4, MeanLen: 20, Alpha: 0.1, Beta: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampler.PaperDefaults(4)
+	cfg.M = 2
+	cfg.Threads = 2
+
+	dir := t.TempDir()
+	d, err := cluster.NewDistributed(c, cfg, cfg.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(d, c, cfg, train.Options{
+		Iters: 4, EvalEvery: 2, CheckpointDir: dir, CheckpointEvery: 2, CheckpointKeep: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := core.New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Run(w, c, cfg, train.Options{Iters: 6, EvalEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state bytes.Buffer
+	if err := w.StateTo(&state); err != nil {
+		t.Fatal(err)
+	}
+	ck := &train.Checkpoint{
+		Sampler:     w.Name(),
+		Cfg:         cfg,
+		Iter:        res.Iter,
+		Trace:       res.Run,
+		Fingerprint: train.CorpusFingerprint(c),
+		State:       state.Bytes(),
+	}
+	if _, err := ck.WriteFile(filepath.Join(dir, "checkpoint-00000006.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	return dir, cfg
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed alongside fn's error.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), fnErr
+}
+
+// TestCkptCLI drives every subcommand against one retention directory.
+// The corruption subtest mutates the directory, so it runs last.
+func TestCkptCLI(t *testing.T) {
+	dir, cfg := buildCheckpoints(t)
+
+	t.Run("list", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdList([]string{"-dir", dir}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 4 { // header + 3 checkpoints
+			t.Fatalf("list printed %d lines, want 4:\n%s", len(lines), out)
+		}
+		for _, want := range []string{"ITER", "sharded", "file", "checkpoint-00000006.ckpt"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("list output missing %q:\n%s", want, out)
+			}
+		}
+		// Each sharded row reports the worker count as its shard count.
+		for _, l := range lines[1:] {
+			if strings.Contains(l, "sharded") && !strings.Contains(l, "2") {
+				t.Fatalf("sharded row without shard count: %q", l)
+			}
+		}
+	})
+
+	t.Run("verify newest", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdVerify([]string{"-dir", dir}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "iteration    6") || !strings.Contains(out, ": OK") {
+			t.Fatalf("verify output:\n%s", out)
+		}
+	})
+
+	t.Run("verify sharded", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdVerify([]string{"-dir", dir, "-iter", "4"}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"iteration    4", "shard 0", "shard 1", ": OK"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("verify output missing %q:\n%s", want, out)
+			}
+		}
+		if !strings.Contains(out, "K=4") || !strings.Contains(out, "threads=2") {
+			t.Fatalf("verify output missing config summary (K=%d threads=%d):\n%s", cfg.K, cfg.Threads, out)
+		}
+	})
+
+	t.Run("verify missing iteration", func(t *testing.T) {
+		if _, err := captureStdout(t, func() error {
+			return cmdVerify([]string{"-dir", dir, "-iter", "99"})
+		}); err == nil {
+			t.Fatal("verify accepted an iteration with no checkpoint")
+		}
+	})
+
+	t.Run("diff sharded pair", func(t *testing.T) {
+		out, err := captureStdout(t, func() error {
+			return cmdDiff([]string{"-dir", dir, "-a", "2", "-b", "4"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "<-- differs") {
+			t.Fatalf("diff of distinct iterations flagged nothing:\n%s", out)
+		}
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "fingerprint") && strings.Contains(l, "differs") {
+				t.Fatalf("same corpus flagged as differing: %q", l)
+			}
+			if strings.HasPrefix(l, "iteration") && !strings.Contains(l, "differs") {
+				t.Fatalf("iterations 2 vs 4 not flagged: %q", l)
+			}
+		}
+	})
+
+	t.Run("diff sharded vs single-file", func(t *testing.T) {
+		out, err := captureStdout(t, func() error {
+			return cmdDiff([]string{"-dir", dir, "-a", "4", "-b", "6"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "shards") && !strings.Contains(l, "differs") {
+				t.Fatalf("shard layouts 2 vs 0 not flagged: %q", l)
+			}
+		}
+	})
+
+	t.Run("corrupt shard body", func(t *testing.T) {
+		ck, err := train.ReadManifest(filepath.Join(dir, "checkpoint-00000004"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := filepath.Join(ck.Dir, ck.ShardFiles[1])
+		raw, err := os.ReadFile(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff // body byte: size and magic stay intact
+		if err := os.WriteFile(shard, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = captureStdout(t, func() error { return cmdVerify([]string{"-dir", dir, "-iter", "4"}) })
+		if err == nil {
+			t.Fatal("verify accepted a corrupt shard")
+		}
+		if !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corruption error does not name the shard and cause: %v", err)
+		}
+	})
+}
+
+func TestCkptCLIBadArgs(t *testing.T) {
+	empty := t.TempDir()
+	for name, fn := range map[string]func() error{
+		"list no dir":      func() error { return cmdList(nil) },
+		"verify no dir":    func() error { return cmdVerify(nil) },
+		"diff no dir":      func() error { return cmdDiff([]string{"-a", "1", "-b", "2"}) },
+		"diff missing b":   func() error { return cmdDiff([]string{"-dir", empty, "-a", "1"}) },
+		"verify empty dir": func() error { return cmdVerify([]string{"-dir", empty}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := captureStdout(t, fn); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+
+	// An empty directory is a valid thing to list: nothing retained yet.
+	out, err := captureStdout(t, func() error { return cmdList([]string{"-dir", empty}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no checkpoints") {
+		t.Fatalf("list of empty dir: %q", out)
+	}
+}

@@ -21,6 +21,14 @@
 // Per-request latency lands in a log-linear histogram (~3% relative
 // error, matching the server's own /stats view).
 //
+// -workload picks the request mix: "infer" (the default) posts
+// fold-in documents; "query" exercises the /v1 topic-analytics routes
+// with ~60% GET topwords pages, ~25% POST similar searches (a query
+// document scored against 4–8 candidates), and ~15% GET vocab slices
+// — the streamed, paginated read path rather than the write-heavy
+// fold-in path. The query workload requires -model (routes are
+// per-model) and discovers the topic count alongside the vocabulary.
+//
 // Usage:
 //
 //	warplda-loadgen -url http://localhost:8080 -model news \
@@ -73,6 +81,7 @@ type Report struct {
 	CPUs int `json:"cpus"`
 
 	Mode        string  `json:"mode"`
+	Workload    string  `json:"workload,omitempty"`
 	Concurrency int     `json:"concurrency"`
 	RateRPS     float64 `json:"rate_rps,omitempty"`
 	DocMix      string  `json:"doc_mix"`
@@ -151,6 +160,8 @@ type config struct {
 	statsURL    string // base URL for discovery
 	model       string
 	mode        string
+	workload    string // "infer" or "query"
+	topics      int    // K, discovered; query workload only
 	concurrency int
 	rate        float64
 	duration    time.Duration
@@ -183,6 +194,70 @@ func (c *config) inferBody(r *rand.Rand) []byte {
 	return b.Bytes()
 }
 
+// wordList renders n uniform word ids as a JSON array.
+func (c *config) wordList(b *bytes.Buffer, n int, r *rand.Rand) {
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d", r.Intn(c.vocab))
+	}
+	b.WriteByte(']')
+}
+
+// nextRequest builds one request for the configured workload.
+func (c *config) nextRequest(r *rand.Rand) (*http.Request, error) {
+	if c.workload == "query" {
+		return c.queryRequest(r)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(c.inferBody(r)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req, nil
+}
+
+// queryRequest draws one request from the analytics mix: 60% topwords
+// pages, 25% similar searches, 15% vocab slices. Prefixes slice on the
+// decimal fallback labels so the mix works against models trained with
+// or without a text vocabulary; an empty page is still a full trip
+// through the query path.
+func (c *config) queryRequest(r *rand.Rand) (*http.Request, error) {
+	base := c.statsURL + "/v1/models/" + c.model + "/query"
+	switch u := r.Float64(); {
+	case u < 0.60:
+		return http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/topwords?topic=%d&limit=20", base, r.Intn(c.topics)), nil)
+	case u < 0.85:
+		var b bytes.Buffer
+		b.WriteString(`{"query": `)
+		c.wordList(&b, sampleLen(c.mix, r), r)
+		b.WriteString(`, "docs": [`)
+		for i, n := 0, 4+r.Intn(5); i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.wordList(&b, sampleLen(c.mix, r), r)
+		}
+		b.WriteString("]")
+		if c.sweeps > 0 {
+			fmt.Fprintf(&b, `, "sweeps": %d`, c.sweeps)
+		}
+		b.WriteString("}")
+		req, err := http.NewRequest(http.MethodPost, base+"/similar", bytes.NewReader(b.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	default:
+		return http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/vocab?prefix=%d&limit=50", base, r.Intn(10)), nil)
+	}
+}
+
 // counters aggregate worker outcomes.
 type counters struct {
 	requests atomic.Int64
@@ -192,17 +267,11 @@ type counters struct {
 	dropped  atomic.Int64
 }
 
-// shoot sends one inference request and records the outcome. Only
-// successful requests land in the latency histogram: shed requests
-// return fast by design and would flatter the quantiles.
-func shoot(c *config, body []byte, h *hist.Histogram, n *counters) {
+// shoot sends one request and records the outcome. Only successful
+// requests land in the latency histogram: shed requests return fast by
+// design and would flatter the quantiles.
+func shoot(c *config, req *http.Request, h *hist.Histogram, n *counters) {
 	n.requests.Add(1)
-	req, err := http.NewRequest(http.MethodPost, c.url, bytes.NewReader(body))
-	if err != nil {
-		n.errors.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
 	if c.deadlineMs > 0 {
 		req.Header.Set("X-Deadline-Ms", strconv.Itoa(c.deadlineMs))
 	}
@@ -230,12 +299,10 @@ func shoot(c *config, body []byte, h *hist.Histogram, n *counters) {
 // discards its numbers, so engine caches and connection pools don't
 // pollute the measured window.
 func run(c *config) (*Report, error) {
-	if c.vocab <= 0 {
-		v, err := discoverVocab(c)
-		if err != nil {
+	if c.vocab <= 0 || (c.workload == "query" && c.topics <= 0) {
+		if err := discoverModel(c); err != nil {
 			return nil, err
 		}
-		c.vocab = v
 	}
 	if c.warmup > 0 {
 		w := *c
@@ -261,7 +328,13 @@ func run(c *config) (*Report, error) {
 						return
 					default:
 					}
-					shoot(c, c.inferBody(r), h, &n)
+					req, err := c.nextRequest(r)
+					if err != nil {
+						n.requests.Add(1)
+						n.errors.Add(1)
+						continue
+					}
+					shoot(c, req, h, &n)
 				}
 			}(i)
 		}
@@ -292,12 +365,18 @@ func run(c *config) (*Report, error) {
 					n.dropped.Add(1)
 					continue
 				}
-				body := c.inferBody(r)
+				req, err := c.nextRequest(r)
+				if err != nil {
+					n.requests.Add(1)
+					n.errors.Add(1)
+					<-slots
+					continue
+				}
 				inner.Add(1)
 				go func() {
 					defer inner.Done()
 					defer func() { <-slots }()
-					shoot(c, body, h, &n)
+					shoot(c, req, h, &n)
 				}()
 			}
 		}()
@@ -316,6 +395,7 @@ func run(c *config) (*Report, error) {
 		GOARCH:        runtime.GOARCH,
 		CPUs:          runtime.NumCPU(),
 		Mode:          c.mode,
+		Workload:      c.workload,
 		Concurrency:   c.concurrency,
 		RateRPS:       c.rate,
 		DocMix:        c.mixSpec,
@@ -331,13 +411,14 @@ func run(c *config) (*Report, error) {
 	}, nil
 }
 
-// discoverVocab asks the server for the model's vocabulary size. The
-// model may not be resident yet (state "available", V absent), so a
-// probe inference request forces the load first.
-func discoverVocab(c *config) (int, error) {
+// discoverModel asks the server for the model's dimensions (V for
+// synthetic word ids, K for topwords topic draws). The model may not
+// be resident yet (state "available", dimensions absent), so a probe
+// inference request forces the load first.
+func discoverModel(c *config) error {
 	probe, err := http.NewRequest(http.MethodPost, c.url, strings.NewReader(`{"docs": [[0]]}`))
 	if err != nil {
-		return 0, err
+		return err
 	}
 	probe.Header.Set("Content-Type", "application/json")
 	if resp, err := c.client.Do(probe); err == nil {
@@ -346,19 +427,29 @@ func discoverVocab(c *config) (int, error) {
 	}
 	resp, err := c.client.Get(c.statsURL + "/models/" + c.model)
 	if err != nil {
-		return 0, fmt.Errorf("discovering vocabulary: %w", err)
+		return fmt.Errorf("discovering model dimensions: %w", err)
 	}
 	defer resp.Body.Close()
 	var mi struct {
 		V int `json:"v"`
+		K int `json:"k"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&mi); err != nil {
-		return 0, fmt.Errorf("discovering vocabulary: %w", err)
+		return fmt.Errorf("discovering model dimensions: %w", err)
 	}
-	if mi.V <= 0 {
-		return 0, fmt.Errorf("model %q reports no vocabulary size; pass -vocab", c.model)
+	if c.vocab <= 0 {
+		if mi.V <= 0 {
+			return fmt.Errorf("model %q reports no vocabulary size; pass -vocab", c.model)
+		}
+		c.vocab = mi.V
 	}
-	return mi.V, nil
+	if c.workload == "query" && c.topics <= 0 {
+		if mi.K <= 0 {
+			return fmt.Errorf("model %q reports no topic count; is it resident?", c.model)
+		}
+		c.topics = mi.K
+	}
+	return nil
 }
 
 // envMatches reports whether the baseline was recorded in a comparable
@@ -366,6 +457,8 @@ func discoverVocab(c *config) (int, error) {
 // informational until the baseline is refreshed from this class.
 func envMatches(base, cur *Report) (bool, string) {
 	switch {
+	case workloadOf(base) != workloadOf(cur):
+		return false, fmt.Sprintf("baseline workload %q vs %q", workloadOf(base), workloadOf(cur))
 	case base.GOOS != cur.GOOS:
 		return false, fmt.Sprintf("baseline GOOS %s vs %s", base.GOOS, cur.GOOS)
 	case base.GOARCH != cur.GOARCH:
@@ -376,6 +469,15 @@ func envMatches(base, cur *Report) (bool, string) {
 		return false, fmt.Sprintf("baseline recorded on %d CPUs, running on %d", base.CPUs, cur.CPUs)
 	}
 	return true, ""
+}
+
+// workloadOf normalizes the workload field: baselines recorded before
+// it existed were all infer runs.
+func workloadOf(r *Report) string {
+	if r.Workload == "" {
+		return "infer"
+	}
+	return r.Workload
 }
 
 // gate applies the absolute and baseline gates to rep and returns the
@@ -433,6 +535,7 @@ func main() {
 		url         = flag.String("url", "http://localhost:8080", "base URL of the warplda-serve instance")
 		model       = flag.String("model", "", "model name (default: the server's /infer default route)")
 		mode        = flag.String("mode", "closed", "load mode: closed (workers, one request in flight each) or open (fixed -rate)")
+		workload    = flag.String("workload", "infer", "request mix: infer (fold-in documents) or query (topwords/similar/vocab analytics; requires -model)")
 		concurrency = flag.Int("concurrency", 8, "closed: worker count; open: max requests in flight")
 		rate        = flag.Float64("rate", 0, "open mode: offered requests per second")
 		duration    = flag.Duration("duration", 10*time.Second, "measured load duration")
@@ -458,6 +561,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	switch *workload {
+	case "infer":
+	case "query":
+		if *model == "" {
+			fatal(fmt.Errorf("-workload query requires -model (query routes are per-model)"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q (want infer or query)", *workload))
+	}
 	inferURL := strings.TrimRight(*url, "/") + "/infer"
 	if *model != "" {
 		inferURL = strings.TrimRight(*url, "/") + "/models/" + *model + "/infer"
@@ -467,6 +579,7 @@ func main() {
 		statsURL:    strings.TrimRight(*url, "/"),
 		model:       *model,
 		mode:        *mode,
+		workload:    *workload,
 		concurrency: *concurrency,
 		rate:        *rate,
 		duration:    *duration,
@@ -496,8 +609,8 @@ func main() {
 		fatal(fmt.Errorf("no successful requests (%d shed, %d errors) — is %s serving?", rep.Shed, rep.Errors, *url))
 	}
 	rep.SHA = *sha
-	fmt.Printf("warplda-loadgen: %s %d workers, %.1fs: %d ok, %d shed, %d errors, %.1f req/s, P50 %.1fms P95 %.1fms P99 %.1fms\n",
-		rep.Mode, rep.Concurrency, rep.DurationSec, rep.OK, rep.Shed, rep.Errors, rep.ThroughputRPS,
+	fmt.Printf("warplda-loadgen: %s %s %d workers, %.1fs: %d ok, %d shed, %d errors, %.1f req/s, P50 %.1fms P95 %.1fms P99 %.1fms\n",
+		rep.Mode, workloadOf(rep), rep.Concurrency, rep.DurationSec, rep.OK, rep.Shed, rep.Errors, rep.ThroughputRPS,
 		float64(rep.LatencyUs.P50)/1000, float64(rep.LatencyUs.P95)/1000, float64(rep.LatencyUs.P99)/1000)
 
 	if *updateBase != "" {

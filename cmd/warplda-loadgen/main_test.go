@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -130,7 +131,7 @@ func fakeServe(t *testing.T, vocab int, handler func(w http.ResponseWriter, r *h
 	mux.HandleFunc("POST /infer", infer)
 	mux.HandleFunc("POST /models/{name}/infer", infer)
 	mux.HandleFunc("GET /models/{name}", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(map[string]any{"name": r.PathValue("name"), "state": "ready", "v": vocab})
+		json.NewEncoder(w).Encode(map[string]any{"name": r.PathValue("name"), "state": "ready", "v": vocab, "k": 4})
 	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
@@ -218,6 +219,90 @@ func TestRunOpenLoopCountsShed(t *testing.T) {
 	// Shed requests must not pollute the latency quantiles.
 	if rep.LatencyUs.Count != rep.OK {
 		t.Fatalf("histogram count %d != ok %d", rep.LatencyUs.Count, rep.OK)
+	}
+}
+
+// TestRunQueryWorkload drives -workload query against a fake /v1 query
+// surface and checks the mix exercises all three request kinds with
+// well-formed parameters, plus topic-count discovery.
+func TestRunQueryWorkload(t *testing.T) {
+	var topwords, similar, vocabQ, malformed atomic.Int64
+	mux := http.NewServeMux()
+	page := []byte(`{"model":"news","version":1,"rows":[],"row_count":0,"truncated":false,"took_ms":0.1}`)
+	mux.HandleFunc("GET /v1/models/news/query/topwords", func(w http.ResponseWriter, r *http.Request) {
+		topic, err := strconv.Atoi(r.URL.Query().Get("topic"))
+		if err != nil || topic < 0 || topic >= 4 || r.URL.Query().Get("limit") != "20" {
+			malformed.Add(1)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		topwords.Add(1)
+		w.Write(page)
+	})
+	mux.HandleFunc("POST /v1/models/news/query/similar", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Query []int32   `json:"query"`
+			Docs  [][]int32 `json:"docs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil ||
+			len(req.Query) == 0 || len(req.Docs) < 4 || len(req.Docs) > 8 {
+			malformed.Add(1)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		similar.Add(1)
+		w.Write(page)
+	})
+	mux.HandleFunc("GET /v1/models/news/query/vocab", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("prefix") == "" {
+			malformed.Add(1)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		vocabQ.Add(1)
+		w.Write(page)
+	})
+	mux.HandleFunc("POST /models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"model":"news","version":1,"topics":[[1]],"top":[0],"took_ms":0.1}`))
+	})
+	mux.HandleFunc("GET /models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"name": "news", "state": "ready", "v": 50, "k": 4})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	cfg := testConfig(srv, "closed")
+	cfg.workload = "query"
+	cfg.vocab = 0 // discovery must fill both V and K
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.vocab != 50 || cfg.topics != 4 {
+		t.Fatalf("discovered (V, K) = (%d, %d), want (50, 4)", cfg.vocab, cfg.topics)
+	}
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed query requests", n)
+	}
+	if topwords.Load() == 0 || similar.Load() == 0 || vocabQ.Load() == 0 {
+		t.Fatalf("mix did not hit every kind: topwords=%d similar=%d vocab=%d",
+			topwords.Load(), similar.Load(), vocabQ.Load())
+	}
+	if rep.Workload != "query" || rep.Errors != 0 || rep.OK == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEnvMatchesWorkload(t *testing.T) {
+	a, b := report(1, 1), report(1, 1)
+	b.Workload = "query"
+	if ok, why := envMatches(a, b); ok || why == "" {
+		t.Fatal("workload mismatch not caught")
+	}
+	a.Workload = "infer" // "" normalizes to infer
+	b.Workload = ""
+	if ok, _ := envMatches(a, b); !ok {
+		t.Fatal("legacy empty workload should compare as infer")
 	}
 }
 

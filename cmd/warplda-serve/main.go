@@ -18,14 +18,26 @@
 //
 //	warplda-serve -model models/news.bin -addr :8080
 //
-// Query the default model or any model by name; raw text works when
-// the model was trained with a vocabulary:
+// The API is versioned under /v1 (the older unversioned paths remain
+// as aliases; see docs/API.md for the full route table, the uniform
+// error envelope, and the pagination rules). Infer against the default
+// model or any model by name; raw text works when the model was
+// trained with a vocabulary:
 //
-//	curl -s localhost:8080/infer -d '{"docs": [[0, 5, 7, 5]]}'
-//	curl -s localhost:8080/models/news/infer -d '{"texts": ["stock market prices"], "sweeps": 30}'
-//	curl -s localhost:8080/models          # admin: per-model state, bytes, hits
-//	curl -s localhost:8080/models/news     # admin: one model's lifecycle stats
-//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/infer -d '{"docs": [[0, 5, 7, 5]]}'
+//	curl -s localhost:8080/v1/models/news/infer -d '{"texts": ["stock market prices"], "sweeps": 30}'
+//	curl -s localhost:8080/v1/models          # admin: per-model state, bytes, hits, versions
+//	curl -s localhost:8080/v1/models/news     # admin: one model's lifecycle stats
+//	curl -s localhost:8080/v1/healthz
+//
+// Topic-analytics queries stream ranked rows under row/byte budgets
+// with cursor pagination:
+//
+//	curl -s 'localhost:8080/v1/models/news/query/topwords?topic=3&limit=20'
+//	curl -s 'localhost:8080/v1/models/news/query/vocab?prefix=sto'
+//	curl -s 'localhost:8080/v1/models/news/query/drift?against=news@120'
+//	curl -s localhost:8080/v1/models/news/query/similar -d '{"query_text": "bond prices", "texts": ["...", "..."]}'
+//	curl -s localhost:8080/v1/models/news/query/topdocs -d '{"topic": 3, "docs": [[0,5,7],[2,2,9]]}'
 package main
 
 import (
@@ -64,6 +76,9 @@ func main() {
 		linger    = flag.Duration("batch-linger", time.Millisecond, "how long a forming batch waits for more requests")
 		queueDep  = flag.Int("queue-depth", 256, "admission queue bound per model; beyond it requests shed with 503")
 		deadline  = flag.Duration("default-deadline", 0, "server-side deadline for requests without X-Deadline-Ms (0 = none)")
+		qLimit    = flag.Int("query-limit", 50, "default rows per query page when the request sets no limit")
+		qMaxLimit = flag.Int("query-max-limit", 500, "hard cap on a query page's row limit")
+		qMaxBytes = flag.Int64("query-max-bytes", 1<<20, "byte budget for one query page's rows array")
 		readTO    = flag.Duration("read-timeout", 30*time.Second, "max duration for reading a full request, body included")
 		writeTO   = flag.Duration("write-timeout", 60*time.Second, "max duration per request including inference; must cover the slowest permitted batch (raise alongside -max-batch/large -sweeps)")
 		idleTO    = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
@@ -111,6 +126,10 @@ func main() {
 		BatchLinger:     *linger,
 		QueueDepth:      *queueDep,
 		DefaultDeadline: *deadline,
+
+		QueryDefaultLimit: *qLimit,
+		QueryMaxLimit:     *qMaxLimit,
+		QueryMaxBytes:     *qMaxBytes,
 	})
 	if err != nil {
 		log.Fatalf("warplda-serve: %v", err)

@@ -19,9 +19,9 @@ import (
 
 // ServeOptions configure the HTTP layer over a model registry.
 type ServeOptions struct {
-	// DefaultModel is the registry model the legacy POST /infer route
-	// serves. Empty disables that route (404); POST /models/{name}/infer
-	// always works.
+	// DefaultModel is the registry model the bare POST /v1/infer route
+	// serves. Empty disables that route (404); POST
+	// /v1/models/{name}/infer always works.
 	DefaultModel string
 	// Sweeps is the default fold-in sweep count when a request does not
 	// set one. 0 means 20.
@@ -45,16 +45,26 @@ type ServeOptions struct {
 	// BatchMax, BatchLinger, and QueueDepth tune the batcher: documents
 	// per dispatch (0 = 32), how long a forming batch waits for company
 	// (0 = 1ms), and the bounded admission queue beyond which requests
-	// are shed with 503 (0 = 256). Ignored unless Coalesce is set.
+	// are shed with 503 (0 = 256). QueueDepth also bounds the per-model
+	// query gate (concurrent analytics queries), Coalesce or not.
 	BatchMax    int
 	BatchLinger time.Duration
 	QueueDepth  int
-	// DefaultDeadline is the admission deadline applied to inference
-	// requests that do not carry an X-Deadline-Ms header. A request
-	// whose deadline passes while it waits in the queue is shed with
-	// 503 + Retry-After instead of consuming engine time the client has
-	// already given up on. 0 means no default deadline.
+	// DefaultDeadline is the admission deadline applied to inference and
+	// query requests that do not carry an X-Deadline-Ms header. A
+	// request whose deadline passes while it waits for admission is shed
+	// with 503 + Retry-After instead of consuming engine time the client
+	// has already given up on. 0 means no default deadline.
 	DefaultDeadline time.Duration
+
+	// QueryDefaultLimit is the page size a query request gets when it
+	// does not set limit (0 means 50); QueryMaxLimit caps the requested
+	// limit (0 means 500). QueryMaxBytes caps the encoded size of one
+	// response's rows array (0 means 1 MiB) — a page that would exceed
+	// it is cut short and returns a next_cursor instead.
+	QueryDefaultLimit int
+	QueryMaxLimit     int
+	QueryMaxBytes     int64
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -73,11 +83,21 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	if o.QueryDefaultLimit <= 0 {
+		o.QueryDefaultLimit = 50
+	}
+	if o.QueryMaxLimit <= 0 {
+		o.QueryMaxLimit = 500
+	}
+	if o.QueryMaxBytes <= 0 {
+		o.QueryMaxBytes = 1 << 20
+	}
 	return o
 }
 
-// inferRequest is the POST /infer body. Exactly one of Docs (token id
-// arrays) or Texts (raw text, requires a model vocabulary) must be set.
+// inferRequest is the POST /v1/infer body. Exactly one of Docs (token
+// id arrays) or Texts (raw text, requires a model vocabulary) must be
+// set.
 type inferRequest struct {
 	Docs   [][]int32 `json:"docs,omitempty"`
 	Texts  []string  `json:"texts,omitempty"`
@@ -104,44 +124,53 @@ type healthResponse struct {
 	DocsServed    int64  `json:"docs_served"`
 }
 
-// modelsResponse is the GET /models reply.
+// modelsResponse is the GET /v1/models reply.
 type modelsResponse struct {
 	registry.Stats
 	Models []registry.ModelInfo `json:"models"`
 }
 
-// batcherInfo is one model's request coalescer in the /stats reply.
+// batcherInfo is one model's request coalescer in the /v1/stats reply.
 type batcherInfo struct {
 	infer.BatcherStats
 	QueueLen int `json:"queue_len"`
 }
 
-// statsResponse is the GET /stats reply: the serving-side view of
+// statsResponse is the GET /v1/stats reply: the serving-side view of
 // throughput and latency that cmd/warplda-loadgen and dashboards read.
-// LatencyUs summarizes successful inference handler time in
-// microseconds (log-linear histogram quantiles, ~3% relative error).
+// LatencyUs summarizes successful inference handler time and
+// QueryLatencyUs successful query handler time, both in microseconds
+// (log-linear histogram quantiles, ~3% relative error).
 type statsResponse struct {
-	Status     string                 `json:"status"`
-	DocsServed int64                  `json:"docs_served"`
-	LatencyUs  hist.Snapshot          `json:"latency_us"`
-	Registry   registry.Stats         `json:"registry"`
-	Batchers   map[string]batcherInfo `json:"batchers,omitempty"`
+	Status         string                     `json:"status"`
+	DocsServed     int64                      `json:"docs_served"`
+	QueriesServed  int64                      `json:"queries_served"`
+	LatencyUs      hist.Snapshot              `json:"latency_us"`
+	QueryLatencyUs hist.Snapshot              `json:"query_latency_us"`
+	Registry       registry.Stats             `json:"registry"`
+	Batchers       map[string]batcherInfo     `json:"batchers,omitempty"`
+	QueryGates     map[string]infer.GateStats `json:"query_gates,omitempty"`
 }
 
-// Server routes multi-model inference and admin traffic onto a
-// registry. It implements http.Handler; Drain flips it into the
-// shutting-down state in which inference requests are refused with 503
-// while in-flight ones complete.
+// Server routes multi-model inference, analytics-query, and admin
+// traffic onto a registry. The canonical surface lives under /v1/; the
+// pre-versioning paths remain as thin aliases serving byte-identical
+// responses (see docs/API.md). It implements http.Handler; Drain flips
+// it into the shutting-down state in which inference and query
+// requests are refused with 503 while in-flight ones complete.
 type Server struct {
 	reg      *registry.Registry
 	opts     ServeOptions
 	mux      *http.ServeMux
 	served   atomic.Int64
+	queries  atomic.Int64
 	draining atomic.Bool
 
-	// latency records successful end-to-end inference handler time in
-	// microseconds, exposed as quantiles on GET /stats.
-	latency *hist.Histogram
+	// latency records successful end-to-end inference handler time and
+	// qlatency successful query handler time, both in microseconds,
+	// exposed as quantiles on GET /v1/stats.
+	latency  *hist.Histogram
+	qlatency *hist.Histogram
 
 	// batchers holds one lazily-created request coalescer per model
 	// name (only when opts.Coalesce). dispatchWrap, when non-nil, wraps
@@ -150,6 +179,12 @@ type Server struct {
 	batchMu      sync.Mutex
 	batchers     map[string]*infer.Batcher
 	dispatchWrap func(infer.Dispatch) infer.Dispatch
+
+	// gates holds one lazily-created admission gate per model name for
+	// the query routes, sharing the batcher's QueueDepth bound and shed
+	// semantics (fail fast without a deadline, wait until it otherwise).
+	gateMu sync.Mutex
+	gates  map[string]*infer.Gate
 }
 
 // NewServer builds the HTTP handler over reg. Models load lazily
@@ -164,49 +199,79 @@ func NewServer(reg *registry.Registry, opts ServeOptions) (*Server, error) {
 		reg:      reg,
 		opts:     opts.withDefaults(),
 		latency:  hist.New(),
+		qlatency: hist.New(),
 		batchers: make(map[string]*infer.Batcher),
+		gates:    make(map[string]*infer.Gate),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+
+	// The canonical routes live under /v1; every pre-versioning path is
+	// kept as an alias bound to the same handler, so the two surfaces
+	// cannot drift apart. Registration happens via aliased(), which
+	// mounts "METHOD /v1<path>" and "METHOD <path>" together plus the
+	// method-less 405 fallbacks that keep wrong-method requests on the
+	// JSON error contract (ServeMux's own 405 is plain text).
+	aliased := func(method, path string, h http.HandlerFunc) {
+		for _, p := range []string{"/v1" + path, path} {
+			mux.HandleFunc(method+" "+p, h)
+			p := p
+			mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Allow", method)
+				writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, 0, "use %s %s", method, p)
+			})
+		}
+	}
+	aliased("POST", "/infer", func(w http.ResponseWriter, r *http.Request) {
 		if s.opts.DefaultModel == "" {
-			httpError(w, http.StatusNotFound, "no default model configured; use /models/{name}/infer")
+			writeError(w, http.StatusNotFound, codeNotFound, 0,
+				"no default model configured; use /v1/models/{name}/infer")
 			return
 		}
 		s.handleInfer(w, r, s.opts.DefaultModel)
 	})
-	mux.HandleFunc("POST /models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
+	aliased("POST", "/models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
 		s.handleInfer(w, r, r.PathValue("name"))
 	})
-	mux.HandleFunc("GET /models", s.handleModels)
-	mux.HandleFunc("GET /models/{name}", s.handleModelInfo)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	// Method-less fallbacks keep 405s on the JSON error contract
-	// (ServeMux's own 405 is plain text). The method-qualified patterns
-	// above are more specific and win for matching requests.
-	for pattern, allow := range map[string]string{
-		"/infer":               "POST",
-		"/models/{name}/infer": "POST",
-		"/models":              "GET",
-		"/models/{name}":       "GET",
-		"/healthz":             "GET",
-		"/stats":               "GET",
+	aliased("GET", "/models", s.handleModels)
+	aliased("GET", "/models/{name}", s.handleModelInfo)
+	aliased("GET", "/healthz", s.handleHealth)
+	aliased("GET", "/stats", s.handleStats)
+
+	// The analytics query surface is /v1-only (it postdates the API
+	// versioning; there is no legacy path to alias).
+	for kind, method := range map[string]string{
+		"topwords": "GET", "vocab": "GET", "drift": "GET",
+		"topdocs": "POST", "similar": "POST",
 	} {
-		method := allow
-		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		kind, method := kind, method
+		path := "/v1/models/{name}/query/" + kind
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			s.handleQuery(w, r, kind)
+		})
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", method)
-			httpError(w, http.StatusMethodNotAllowed, "use %s", method)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, 0, "use %s %s", method, path)
 		})
 	}
+	mux.HandleFunc("/v1/models/{name}/query/{kind}", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound, 0,
+			"unknown query kind %q: want topwords, vocab, drift, topdocs, or similar", r.PathValue("kind"))
+	})
+	// Catch-all so that a path nothing above matched still answers on
+	// the JSON error contract instead of ServeMux's plain-text 404.
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound, 0, "no route %s", r.URL.Path)
+	})
 	s.mux = mux
 	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Drain refuses new inference work with 503 (admin and health stay up,
-// reporting "draining") so load balancers can rotate the instance out
-// while http.Server.Shutdown lets in-flight requests finish.
+// Drain refuses new inference and query work with 503 (admin and
+// health stay up, reporting "draining") so load balancers can rotate
+// the instance out while http.Server.Shutdown lets in-flight requests
+// finish.
 func (s *Server) Drain() { s.draining.Store(true) }
 
 // acquire resolves a model name through the registry and maps lifecycle
@@ -222,48 +287,10 @@ func (s *Server) acquire(w http.ResponseWriter, name string) (*registry.Snapshot
 	return nil, false
 }
 
-// writeRegistryError maps a registry lifecycle error onto the HTTP
-// admission-control contract.
-func (s *Server) writeRegistryError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, registry.ErrNotFound) || errors.Is(err, registry.ErrBadName):
-		httpError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, registry.ErrLoading):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, registry.ErrOverCapacity):
-		w.Header().Set("Retry-After", "5")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, registry.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
-	default:
-		// Unreadable/corrupt model file: the caller named a real model,
-		// the server side is broken.
-		httpError(w, http.StatusInternalServerError, "%v", err)
-	}
-}
-
 // errBadDocs marks engine-side document validation failures (word ids
 // out of the model's range) crossing the batcher boundary, so the
 // handler can keep them 400 while registry errors stay 404/503.
 var errBadDocs = errors.New("invalid document")
-
-// writeBatchError maps an error returned by a coalesced dispatch onto
-// HTTP: shed conditions are retryable 503s, validation failures are the
-// caller's 400, registry lifecycle errors keep their usual mapping.
-func (s *Server) writeBatchError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, infer.ErrQueueFull), errors.Is(err, infer.ErrDeadlineExceeded):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, infer.ErrBatcherClosed):
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
-	case errors.Is(err, errBadDocs):
-		httpError(w, http.StatusBadRequest, "%v", err)
-	default:
-		s.writeRegistryError(w, err)
-	}
-}
 
 // batcherFor returns the model's request coalescer, creating it on
 // first use. The dispatch closure acquires the registry snapshot per
@@ -296,6 +323,19 @@ func (s *Server) batcherFor(name string) *infer.Batcher {
 	})
 	s.batchers[name] = b
 	return b
+}
+
+// gateFor returns the model's query admission gate, creating it on
+// first use with the same depth bound as the batcher queue.
+func (s *Server) gateFor(name string) *infer.Gate {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if g := s.gates[name]; g != nil {
+		return g
+	}
+	g := infer.NewGate(s.opts.QueueDepth)
+	s.gates[name] = g
+	return g
 }
 
 // Close drains every request coalescer: admission stops, queued work
@@ -341,10 +381,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	resp := statsResponse{
-		Status:     status,
-		DocsServed: s.served.Load(),
-		LatencyUs:  s.latency.Summary(),
-		Registry:   s.reg.RegistryStats(),
+		Status:         status,
+		DocsServed:     s.served.Load(),
+		QueriesServed:  s.queries.Load(),
+		LatencyUs:      s.latency.Summary(),
+		QueryLatencyUs: s.qlatency.Summary(),
+		Registry:       s.reg.RegistryStats(),
 	}
 	s.batchMu.Lock()
 	if len(s.batchers) > 0 {
@@ -354,6 +396,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.batchMu.Unlock()
+	s.gateMu.Lock()
+	if len(s.gates) > 0 {
+		resp.QueryGates = make(map[string]infer.GateStats, len(s.gates))
+		for name, g := range s.gates {
+			resp.QueryGates[name] = g.Stats()
+		}
+	}
+	s.gateMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -361,7 +411,7 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	mi, ok := s.reg.Info(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "model not found: %q", name)
+		writeError(w, http.StatusNotFound, codeNotFound, 0, "model not found: %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, mi)
@@ -369,7 +419,7 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, 0, "server is draining")
 		return
 	}
 	var req inferRequest
@@ -379,11 +429,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, 0,
 				"request body exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, 0, "bad request body: %v", err)
 		return
 	}
 	// Acquire after the body parse: bad requests stay 4xx even when the
@@ -395,7 +445,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 	}
 	docs, status, err := s.resolveDocs(snap, &req)
 	if err != nil {
-		httpError(w, status, "%v", err)
+		code := codeBadRequest
+		if status == http.StatusRequestEntityTooLarge {
+			code = codePayloadTooLarge
+		}
+		writeError(w, status, code, 0, "%v", err)
 		return
 	}
 	sweeps := req.Sweeps
@@ -407,7 +461,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 	}
 	deadline, err := s.requestDeadline(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, 0, "%v", err)
 		return
 	}
 
@@ -422,7 +476,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 		// reports the version that actually served it.
 		theta, tag, derr := s.batcherFor(name).Do(docs[0], sweeps, deadline)
 		if derr != nil {
-			s.writeBatchError(w, derr)
+			s.writeAdmissionError(w, derr)
 			return
 		}
 		if tsnap, ok := tag.(*registry.Snapshot); ok {
@@ -431,14 +485,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, name string
 		topics = [][]float64{theta}
 	} else {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "%v", infer.ErrDeadlineExceeded)
+			writeError(w, http.StatusServiceUnavailable, codeDeadlineExceeded, time.Second,
+				"%v", infer.ErrDeadlineExceeded)
 			return
 		}
 		topics, err = snap.Engine.InferBatch(docs, sweeps, s.opts.Seed)
 		if err != nil {
 			// Word ids out of the model's range are a caller error.
-			httpError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, codeBadRequest, 0, "%v", err)
 			return
 		}
 	}
@@ -502,26 +556,7 @@ func (s *Server) resolveDocs(snap *registry.Snapshot, req *inferRequest) ([][]in
 		}
 		docs := make([][]int32, len(req.Texts))
 		for i, text := range req.Texts {
-			// Two-level lookup: a lowercased whitespace field is tried
-			// verbatim first, so vocabularies with entries Normalize
-			// can't emit (underscored entities like "zzz_new_york" in
-			// the UCI NYTimes vocab) still match; otherwise the field
-			// gets the character normalization FromText applies at
-			// training time, whose stopword/frequency filters the
-			// vocabulary lookup subsumes (filtered words never got an
-			// id). Out-of-vocabulary words carry no information under
-			// the trained Φ̂ and are dropped.
-			for _, field := range strings.Fields(strings.ToLower(text)) {
-				if id, ok := snap.Vocab[field]; ok {
-					docs[i] = append(docs[i], id)
-					continue
-				}
-				for _, tok := range corpus.Normalize(field) {
-					if id, ok := snap.Vocab[tok]; ok {
-						docs[i] = append(docs[i], id)
-					}
-				}
-			}
+			docs[i] = tokenize(snap.Vocab, text)
 		}
 		return docs, 0, nil
 	default:
@@ -529,12 +564,32 @@ func (s *Server) resolveDocs(snap *registry.Snapshot, req *inferRequest) ([][]in
 	}
 }
 
+// tokenize maps raw text onto a model's token ids. Two-level lookup: a
+// lowercased whitespace field is tried verbatim first, so vocabularies
+// with entries Normalize can't emit (underscored entities like
+// "zzz_new_york" in the UCI NYTimes vocab) still match; otherwise the
+// field gets the character normalization FromText applies at training
+// time, whose stopword/frequency filters the vocabulary lookup
+// subsumes (filtered words never got an id). Out-of-vocabulary words
+// carry no information under the trained Φ̂ and are dropped.
+func tokenize(vocab map[string]int32, text string) []int32 {
+	var doc []int32
+	for _, field := range strings.Fields(strings.ToLower(text)) {
+		if id, ok := vocab[field]; ok {
+			doc = append(doc, id)
+			continue
+		}
+		for _, tok := range corpus.Normalize(field) {
+			if id, ok := vocab[tok]; ok {
+				doc = append(doc, id)
+			}
+		}
+	}
+	return doc
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -210,9 +210,10 @@ func TestInferRejectsBadRequests(t *testing.T) {
 		if got := rec.Header().Get("Allow"); got != allow {
 			t.Errorf("%s %s: Allow = %q, want %q", method, path, got, allow)
 		}
-		var e map[string]string
-		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e["error"] == "" {
-			t.Errorf("%s %s: 405 body not on the JSON error contract: %v %v", method, path, err, e)
+		var e errorEnvelope
+		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil ||
+			e.Error.Code != codeMethodNotAllowed || e.Error.Message == "" {
+			t.Errorf("%s %s: 405 body not on the JSON error contract: %v %+v", method, path, err, e)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package infer
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateFailsFastWithoutDeadline(t *testing.T) {
+	g := NewGate(2)
+	r1, err := g.Enter(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Enter(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Enter(time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full gate without deadline: err = %v, want ErrQueueFull", err)
+	}
+	st := g.Stats()
+	if st.Admitted != 2 || st.Active != 2 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r1()
+	r1() // idempotent
+	if _, err := g.Enter(time.Time{}); err != nil {
+		t.Fatalf("slot freed but Enter failed: %v", err)
+	}
+	r2()
+}
+
+func TestGateWaitsUntilDeadline(t *testing.T) {
+	g := NewGate(1)
+	release, err := g.Enter(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holder releases shortly; a waiter with a generous deadline should
+	// get the slot instead of shedding.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		release()
+	}()
+	r2, err := g.Enter(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatalf("waiter shed despite slot freeing in time: %v", err)
+	}
+	r2()
+
+	// A waiter whose deadline passes first sheds with ErrDeadlineExceeded.
+	r3, err := g.Enter(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3()
+	start := time.Now()
+	if _, err := g.Enter(time.Now().Add(30 * time.Millisecond)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline shed took far longer than the deadline")
+	}
+	if g.Stats().ShedDeadline == 0 {
+		t.Fatal("ShedDeadline not counted")
+	}
+}
+
+func TestGatePastDeadlineShedsImmediately(t *testing.T) {
+	g := NewGate(4)
+	if _, err := g.Enter(time.Now().Add(-time.Millisecond)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded for an already-past deadline", err)
+	}
+	if st := g.Stats(); st.Admitted != 0 || st.ShedDeadline != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGateDefaultDepth(t *testing.T) {
+	g := NewGate(0)
+	var releases []func()
+	for i := 0; i < 256; i++ {
+		r, err := g.Enter(time.Time{})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	if _, err := g.Enter(time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("257th admit: err = %v", err)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if g.Stats().Active != 0 {
+		t.Fatalf("active = %d after releasing all", g.Stats().Active)
+	}
+}

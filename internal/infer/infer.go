@@ -178,6 +178,24 @@ func (e *Engine) K() int { return e.p.K }
 // V returns the engine's vocabulary size.
 func (e *Engine) V() int { return e.p.V }
 
+// Alpha returns the engine's symmetric document-topic prior.
+func (e *Engine) Alpha() float64 { return e.p.Alpha }
+
+// Beta returns the engine's symmetric topic-word prior.
+func (e *Engine) Beta() float64 { return e.p.Beta }
+
+// Count returns the frozen word-topic count C_wk. It is the sparse
+// structure analytics queries iterate: a topic's top words are the
+// words with the largest counts in its column. Bounds are the caller's
+// responsibility (0 <= w < V, 0 <= k < K).
+func (e *Engine) Count(w, k int) int32 { return e.p.Cw[w*e.p.K+k] }
+
+// TopicTokens returns the global token count C_k of topic k.
+func (e *Engine) TopicTokens(k int) int64 { return e.p.Ck[k] }
+
+// Phi evaluates the frozen point estimate Φ̂_wk = (C_wk+β)/(C_k+β̄).
+func (e *Engine) Phi(w, k int) float64 { return e.phi(int32(w), int32(k)) }
+
 // MemoryBytes estimates the engine's own resident memory: the shared
 // smoothing table, C_k+β̄ row, and every per-word sparse alias table.
 // It excludes the Params count slices, which the engine retains but
@@ -253,6 +271,19 @@ func (e *Engine) inferInto(doc []int32, sweeps int, r *rng.RNG, sc *scratch, the
 		}
 		return
 	}
+	e.runChain(doc, sweeps, r, sc)
+	alpha := e.p.Alpha
+	for t := 0; t < k; t++ {
+		theta[t] = (float64(sc.cd[t]) + alpha) / (float64(ld) + e.alphaBar)
+	}
+}
+
+// runChain runs the MH fold-in chain for one non-empty document,
+// leaving the final doc-topic counts in sc.cd. It is the shared core of
+// the dense (inferInto) and sparse (InferSparse) extraction paths.
+func (e *Engine) runChain(doc []int32, sweeps int, r *rng.RNG, sc *scratch) {
+	k := e.p.K
+	ld := len(doc)
 	if sweeps < 1 {
 		sweeps = DefaultSweeps
 	}
@@ -311,9 +342,6 @@ func (e *Engine) inferInto(doc []int32, sweeps int, r *rng.RNG, sc *scratch, the
 			z[n] = cur
 			cd[cur]++
 		}
-	}
-	for t := 0; t < k; t++ {
-		theta[t] = (float64(cd[t]) + alpha) / (float64(ld) + e.alphaBar)
 	}
 }
 

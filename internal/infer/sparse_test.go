@@ -1,0 +1,130 @@
+package infer
+
+import (
+	"math"
+	"testing"
+)
+
+func sparseTestEngine(t testing.TB, v, k int) *Engine {
+	t.Helper()
+	cw := make([]int32, v*k)
+	ck := make([]int64, k)
+	for w := 0; w < v; w++ {
+		for j := 0; j < k; j++ {
+			c := int32((w*31+j*7)%5) * 20
+			cw[w*k+j] = c
+			ck[j] += int64(c)
+		}
+	}
+	e, err := NewEngine(Params{V: v, K: k, Alpha: 0.1, Beta: 0.01, Cw: cw, Ck: ck}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestInferSparseMatchesDense pins the contract internal/query relies
+// on: a document's sparse mixture is the unsmoothed restriction of the
+// same chain the dense path runs — same seed derivation, same final
+// assignments — so sparse weight w_k equals (θ̂_k·(L+ᾱ) − α)/L for
+// every occupied topic, and absent topics have exactly that dense
+// smoothing floor.
+func TestInferSparseMatchesDense(t *testing.T) {
+	e := sparseTestEngine(t, 60, 8)
+	doc := []int32{3, 17, 17, 42, 9, 33, 3, 55, 21, 8}
+	const sweeps, seed = 7, 99
+
+	sparse, err := e.InferSparse(doc, sweeps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseBatch, err := e.InferBatch([][]int32{doc}, sweeps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := denseBatch[0]
+
+	l := float64(len(doc))
+	alphaBar := e.Alpha() * float64(e.K())
+	fromDense := make(map[int32]float64)
+	for k, th := range dense {
+		// Invert the smoothing: count_k/L = (θ̂_k·(L+ᾱ) − α)/L.
+		w := (th*(l+alphaBar) - e.Alpha()) / l
+		if w > 1e-9 {
+			fromDense[int32(k)] = w
+		}
+	}
+	if len(sparse) != len(fromDense) {
+		t.Fatalf("sparse has %d topics, dense implies %d", len(sparse), len(fromDense))
+	}
+	var sum float64
+	for i, entry := range sparse {
+		want, ok := fromDense[entry.Topic]
+		if !ok {
+			t.Fatalf("sparse topic %d absent from dense result", entry.Topic)
+		}
+		if math.Abs(entry.Weight-want) > 1e-9 {
+			t.Fatalf("topic %d: sparse %g, dense-implied %g", entry.Topic, entry.Weight, want)
+		}
+		if i > 0 && sparse[i-1].Topic >= entry.Topic {
+			t.Fatal("sparse entries not sorted by topic")
+		}
+		sum += entry.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sparse weights sum to %g", sum)
+	}
+}
+
+func TestInferSparseDeterministic(t *testing.T) {
+	e := sparseTestEngine(t, 40, 6)
+	doc := []int32{1, 2, 3, 5, 8, 13, 21, 34}
+	a, err := e.InferSparse(doc, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.InferSparse(doc, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInferSparseValidation(t *testing.T) {
+	e := sparseTestEngine(t, 20, 4)
+	if _, err := e.InferSparse([]int32{20}, 3, 1); err == nil {
+		t.Fatal("out-of-range token accepted")
+	}
+	if _, err := e.InferSparse([]int32{-1}, 3, 1); err == nil {
+		t.Fatal("negative token accepted")
+	}
+	theta, err := e.InferSparse(nil, 3, 1)
+	if err != nil || theta != nil {
+		t.Fatalf("empty doc: theta=%v err=%v", theta, err)
+	}
+}
+
+func TestSparseDotAndCosine(t *testing.T) {
+	a := []ThetaEntry{{0, 0.5}, {2, 0.5}}
+	b := []ThetaEntry{{1, 0.5}, {2, 0.5}}
+	if got := SparseDot(a, b); got != 0.25 {
+		t.Fatalf("dot = %g", got)
+	}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self-cosine = %g", got)
+	}
+	if got := Cosine(a, nil); got != 0 {
+		t.Fatalf("cosine vs empty = %g", got)
+	}
+	disjoint := []ThetaEntry{{5, 1}}
+	if got := Cosine(a, disjoint); got != 0 {
+		t.Fatalf("disjoint cosine = %g", got)
+	}
+}

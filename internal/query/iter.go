@@ -1,0 +1,123 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Iter is a lazy pull iterator over rows of type T. Rows are produced
+// one at a time, only when pulled: building an Iter does no work, and
+// abandoning one part-way (a row limit, a response byte budget, a
+// closed connection) leaves the remaining rows uncomputed. Composition
+// is by wrapping — Skip and Limit return new iterators over the same
+// underlying pull function — so a paginated query is
+// Limit(Skip(source, cursor), limit) and costs cursor+limit pulls, not
+// a materialized result set.
+type Iter[T any] struct {
+	next func() (T, bool, error)
+	err  error
+	done bool
+}
+
+// NewIter wraps a pull function: next returns (row, true, nil) while
+// rows remain, (zero, false, nil) at the end, or an error, which
+// terminates the iterator. next is never called again after it returns
+// false or an error.
+func NewIter[T any](next func() (T, bool, error)) *Iter[T] {
+	return &Iter[T]{next: next}
+}
+
+// Next pulls the next row. ok is false at the end of the stream or on
+// error; check Err after the loop.
+func (it *Iter[T]) Next() (row T, ok bool) {
+	if it.done {
+		return row, false
+	}
+	row, ok, err := it.next()
+	if err != nil {
+		it.err = err
+		it.done = true
+		return row, false
+	}
+	if !ok {
+		it.done = true
+	}
+	return row, ok
+}
+
+// Err returns the error that terminated the iterator, if any.
+func (it *Iter[T]) Err() error { return it.err }
+
+// Limit caps it at n rows. n <= 0 yields an empty iterator.
+func Limit[T any](it *Iter[T], n int) *Iter[T] {
+	emitted := 0
+	out := NewIter(func() (T, bool, error) {
+		var zero T
+		if emitted >= n {
+			return zero, false, nil
+		}
+		row, ok := it.Next()
+		if !ok {
+			return zero, false, it.Err()
+		}
+		emitted++
+		return row, true, nil
+	})
+	return out
+}
+
+// Skip discards the first n rows of it — the cursor side of
+// pagination. The discarded rows are pulled (and therefore computed)
+// lazily, on the first pull of the returned iterator, not at wrap
+// time.
+func Skip[T any](it *Iter[T], n int) *Iter[T] {
+	skipped := false
+	return NewIter(func() (T, bool, error) {
+		var zero T
+		if !skipped {
+			skipped = true
+			for i := 0; i < n; i++ {
+				if _, ok := it.Next(); !ok {
+					return zero, false, it.Err()
+				}
+			}
+		}
+		row, ok := it.Next()
+		if !ok {
+			return zero, false, it.Err()
+		}
+		return row, true, nil
+	})
+}
+
+// Collect drains it into a slice — tests and small internal consumers
+// only; the serve path streams instead (see StreamArray).
+func Collect[T any](it *Iter[T]) ([]T, error) {
+	var out []T
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return out, it.Err()
+		}
+		out = append(out, row)
+	}
+}
+
+// ParseCursor decodes a pagination cursor as produced in a streamed
+// response's next_cursor field: the number of rows already delivered.
+// An empty cursor is offset 0. The decimal form is part of the /v1 API
+// contract (docs/API.md); clients should still treat cursors as opaque
+// tokens and echo them back unchanged.
+func ParseCursor(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query: bad cursor %q", s)
+	}
+	return n, nil
+}
+
+// Cursor encodes the pagination offset after delivering rows.
+func Cursor(offset int) string { return strconv.Itoa(offset) }

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// counting returns an iterator over 0..n-1 that counts pulls of the
+// underlying source — the probe for laziness tests.
+func counting(n int, pulls *int) *Iter[int] {
+	i := 0
+	return NewIter(func() (int, bool, error) {
+		*pulls++
+		if i >= n {
+			return 0, false, nil
+		}
+		v := i
+		i++
+		return v, true, nil
+	})
+}
+
+func TestLimitIsLazy(t *testing.T) {
+	pulls := 0
+	it := Limit(counting(1000, &pulls), 3)
+	if pulls != 0 {
+		t.Fatalf("building the pipeline pulled %d rows; want 0", pulls)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0] != 0 || rows[2] != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Limit(3) must stop pulling once it has 3 rows: exactly 3 source
+	// pulls, not 4 (no read-ahead) and certainly not 1000.
+	if pulls != 3 {
+		t.Fatalf("source pulled %d times for a 3-row page; want 3", pulls)
+	}
+}
+
+func TestSkipLimitPagination(t *testing.T) {
+	pulls := 0
+	it := Limit(Skip(counting(100, &pulls), 10), 5)
+	if pulls != 0 {
+		t.Fatalf("wrap time pulled %d rows; want 0", pulls)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0] != 10 || rows[4] != 14 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if pulls != 15 {
+		t.Fatalf("source pulled %d times; want cursor+limit = 15", pulls)
+	}
+}
+
+func TestSkipPastEnd(t *testing.T) {
+	pulls := 0
+	it := Limit(Skip(counting(4, &pulls), 10), 5)
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v; want empty", rows)
+	}
+}
+
+func TestLimitZeroYieldsNothing(t *testing.T) {
+	pulls := 0
+	rows, err := Collect(Limit(counting(10, &pulls), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 || pulls != 0 {
+		t.Fatalf("rows=%v pulls=%d; want empty and zero pulls", rows, pulls)
+	}
+}
+
+func TestIterErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	it := NewIter(func() (int, bool, error) {
+		n++
+		if n > 2 {
+			return 0, false, boom
+		}
+		return n, true, nil
+	})
+	wrapped := Limit(Skip(it, 1), 5)
+	rows, err := Collect(wrapped)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v; want the single pre-error row", rows)
+	}
+	// A terminated iterator stays terminated.
+	if _, ok := wrapped.Next(); ok {
+		t.Fatal("Next returned a row after an error")
+	}
+}
+
+func TestParseCursor(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		bad  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"42", 42, false},
+		{"-1", 0, true},
+		{"x", 0, true},
+		{"1.5", 0, true},
+	} {
+		got, err := ParseCursor(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("ParseCursor(%q): want error", tc.in)
+			} else if !strings.Contains(err.Error(), "bad cursor") {
+				t.Errorf("ParseCursor(%q) error = %v", tc.in, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCursor(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	if Cursor(17) != "17" {
+		t.Fatalf("Cursor(17) = %q", Cursor(17))
+	}
+}

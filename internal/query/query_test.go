@@ -1,0 +1,455 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"warplda/internal/infer"
+)
+
+// testModel builds a deterministic synthetic model: V words, K topics,
+// word w's count in topic k is a fixed function of (w, k) so rankings
+// are verifiable by brute force.
+func testModel(t testing.TB, v, k int, count func(w, k int) int32) Model {
+	t.Helper()
+	cw := make([]int32, v*k)
+	ck := make([]int64, k)
+	for w := 0; w < v; w++ {
+		for j := 0; j < k; j++ {
+			c := count(w, j)
+			cw[w*k+j] = c
+			ck[j] += int64(c)
+		}
+	}
+	eng, err := infer.NewEngine(infer.Params{V: v, K: k, Alpha: 0.1, Beta: 0.01, Cw: cw, Ck: ck}, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := make([]string, v)
+	for w := range vocab {
+		vocab[w] = fmt.Sprintf("word%03d", w)
+	}
+	return Model{Engine: eng, Vocab: vocab}
+}
+
+// skewed gives each topic a distinct descending ranking: in topic k,
+// word (w+k)%V has count V-w ... a rotation, so brute force is easy.
+func skewed(v int) func(w, k int) int32 {
+	return func(w, k int) int32 {
+		return int32((w+k)%v + 1)
+	}
+}
+
+func TestTopWordsMatchesBruteForce(t *testing.T) {
+	const V, K = 50, 4
+	m := testModel(t, V, K, skewed(V))
+	for topic := 0; topic < K; topic++ {
+		it, err := TopWords(m, topic, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: all words, sorted count desc / id asc.
+		type wc struct {
+			w int32
+			c int32
+		}
+		var all []wc
+		for w := 0; w < V; w++ {
+			if c := m.Engine.Count(w, topic); c > 0 {
+				all = append(all, wc{int32(w), c})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].c != all[j].c {
+				return all[i].c > all[j].c
+			}
+			return all[i].w < all[j].w
+		})
+		if len(rows) != 10 {
+			t.Fatalf("topic %d: got %d rows", topic, len(rows))
+		}
+		for i, row := range rows {
+			if row.ID != all[i].w || row.Count != all[i].c {
+				t.Fatalf("topic %d rank %d: got (%d,%d), want (%d,%d)",
+					topic, i, row.ID, row.Count, all[i].w, all[i].c)
+			}
+			if row.Word != fmt.Sprintf("word%03d", row.ID) {
+				t.Fatalf("row %d word = %q", i, row.Word)
+			}
+			if row.Phi <= 0 || row.Phi >= 1 {
+				t.Fatalf("row %d phi = %g", i, row.Phi)
+			}
+		}
+	}
+}
+
+func TestTopWordsValidation(t *testing.T) {
+	m := testModel(t, 10, 2, skewed(10))
+	if _, err := TopWords(m, 2, 5); err == nil {
+		t.Fatal("topic out of range accepted")
+	}
+	if _, err := TopWords(m, -1, 5); err == nil {
+		t.Fatal("negative topic accepted")
+	}
+	if _, err := TopWords(m, 0, MaxSelectionDepth+1); err == nil {
+		t.Fatal("over-cap depth accepted")
+	}
+	it, err := TopWords(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := Collect(it); len(rows) != 0 {
+		t.Fatalf("depth 0 returned %d rows", len(rows))
+	}
+}
+
+func TestTopWordsPaginationIsConsistent(t *testing.T) {
+	const V = 40
+	m := testModel(t, V, 2, skewed(V))
+	full, err := TopWords(m, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page through with limit 7 and splice: must equal the single deep query.
+	var got []WordRow
+	for cursor := 0; cursor < 30; cursor += 7 {
+		limit := 7
+		if cursor+limit > 30 {
+			limit = 30 - cursor
+		}
+		it, err := TopWords(m, 1, cursor+limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := Collect(Limit(Skip(it, cursor), limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spliced %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: paged %+v != deep %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVocabSlice(t *testing.T) {
+	m := testModel(t, 25, 3, skewed(25))
+	rows, err := Collect(VocabSlice(m, "word01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // word010..word019
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	for i, row := range rows {
+		if row.ID != int32(10+i) {
+			t.Fatalf("row %d id = %d", i, row.ID)
+		}
+		var want int64
+		for k := 0; k < 3; k++ {
+			want += int64(m.Engine.Count(int(row.ID), k))
+		}
+		if row.Tokens != want {
+			t.Fatalf("row %d tokens = %d, want %d", i, row.Tokens, want)
+		}
+	}
+	// No match → empty, no error.
+	rows, err = Collect(VocabSlice(m, "zzz"))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestVocabSliceNilVocabUsesIDs(t *testing.T) {
+	m := testModel(t, 12, 2, skewed(12))
+	m.Vocab = nil
+	rows, err := Collect(VocabSlice(m, "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ids rendered as decimals: 1, 10, 11 start with "1".
+	if len(rows) != 3 || rows[0].Word != "1" || rows[1].Word != "10" || rows[2].Word != "11" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestSimilarRanksSelfFirst(t *testing.T) {
+	const V, K = 30, 3
+	// Three well-separated topics: words [0,10) → topic 0, etc.
+	m := testModel(t, V, K, func(w, k int) int32 {
+		if w/10 == k {
+			return 100
+		}
+		return 0
+	})
+	mkdoc := func(topic int) []int32 {
+		doc := make([]int32, 16)
+		for i := range doc {
+			doc[i] = int32(topic*10 + i%10)
+		}
+		return doc
+	}
+	query := mkdoc(1)
+	docs := [][]int32{mkdoc(0), mkdoc(1), mkdoc(2)}
+	it, err := Similar(m, query, docs, 8, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Doc != 1 {
+		t.Fatalf("best match doc = %d (rows %+v), want the same-topic doc 1", rows[0].Doc, rows)
+	}
+	if rows[0].Score < rows[1].Score || rows[1].Score < rows[2].Score {
+		t.Fatalf("scores not descending: %+v", rows)
+	}
+	// Determinism: same request twice → identical rows.
+	it2, _ := Similar(m, query, docs, 8, 42, 3)
+	rows2, _ := Collect(it2)
+	for i := range rows {
+		if rows[i] != rows2[i] {
+			t.Fatalf("row %d differs across identical requests: %+v vs %+v", i, rows[i], rows2[i])
+		}
+	}
+}
+
+func TestTopDocsRanksByTopicWeight(t *testing.T) {
+	const V, K = 30, 3
+	m := testModel(t, V, K, func(w, k int) int32 {
+		if w/10 == k {
+			return 100
+		}
+		return 0
+	})
+	pure := func(topic, n int) []int32 {
+		doc := make([]int32, n)
+		for i := range doc {
+			doc[i] = int32(topic*10 + i%10)
+		}
+		return doc
+	}
+	// Doc 0 is pure topic 2; doc 1 is half topic 2; doc 2 has none.
+	docs := [][]int32{pure(2, 12), append(pure(2, 6), pure(0, 6)...), pure(0, 12)}
+	it, err := TopDocs(m, docs, 2, 8, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Doc != 0 || rows[1].Doc != 1 || rows[2].Doc != 2 {
+		t.Fatalf("rows = %+v; want docs ordered 0,1,2", rows)
+	}
+	if rows[0].Weight < 0.9 || rows[2].Weight > 0.2 {
+		t.Fatalf("weights implausible: %+v", rows)
+	}
+	// Bad doc id surfaces as an iterator error on pull, not a panic.
+	bad, err := TopDocs(m, [][]int32{{int32(V)}}, 0, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(bad); err == nil {
+		t.Fatal("out-of-range token id did not error")
+	}
+}
+
+func TestDriftIdenticalModelsIsZero(t *testing.T) {
+	m := testModel(t, 40, 5, skewed(40))
+	it, err := Drift(m, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want one per topic", len(rows))
+	}
+	for _, row := range rows {
+		if row.L1 != 0 {
+			t.Fatalf("topic %d: L1 = %g on identical models", row.Topic, row.L1)
+		}
+		if row.Overlap != 1 {
+			t.Fatalf("topic %d: overlap = %g on identical models", row.Topic, row.Overlap)
+		}
+		if len(row.TopA) != 10 || len(row.TopB) != 10 {
+			t.Fatalf("topic %d: top sets %d/%d words", row.Topic, len(row.TopA), len(row.TopB))
+		}
+	}
+}
+
+func TestDriftDetectsShiftedTopic(t *testing.T) {
+	const V, K = 30, 2
+	a := testModel(t, V, K, func(w, k int) int32 {
+		if w/15 == k {
+			return 50
+		}
+		return 0
+	})
+	// b swaps the topics' word blocks.
+	b := testModel(t, V, K, func(w, k int) int32 {
+		if w/15 == 1-k {
+			return 50
+		}
+		return 0
+	})
+	it, err := Drift(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Overlap != 0 {
+			t.Fatalf("topic %d overlap = %g on disjoint top sets", row.Topic, row.Overlap)
+		}
+		if row.L1 < 1 {
+			t.Fatalf("topic %d L1 = %g, want large on swapped columns", row.Topic, row.L1)
+		}
+	}
+	// Shape mismatch is rejected up front.
+	c := testModel(t, V, K+1, skewed(V))
+	if _, err := Drift(a, c, 5); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+}
+
+func TestStreamArrayRowBudget(t *testing.T) {
+	pulls := 0
+	var buf bytes.Buffer
+	st, err := StreamArray(&buf, counting(100, &pulls), Budget{MaxRows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 5 || !st.Truncated {
+		t.Fatalf("stats = %+v", st)
+	}
+	var rows []int
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(rows) != 5 || rows[4] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// 5 delivered rows + 1 truncation probe; the other 94 never computed.
+	if pulls != 6 {
+		t.Fatalf("source pulled %d times; want 6", pulls)
+	}
+	if st.Bytes != int64(buf.Len()) {
+		t.Fatalf("Bytes = %d, buffer = %d", st.Bytes, buf.Len())
+	}
+}
+
+func TestStreamArrayByteBudget(t *testing.T) {
+	pulls := 0
+	var buf bytes.Buffer
+	st, err := StreamArray(&buf, counting(1000, &pulls), Budget{MaxRows: 1000, MaxBytes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.Rows == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if int64(buf.Len()) > 40 {
+		t.Fatalf("wrote %d bytes past the 40-byte budget", buf.Len())
+	}
+	var rows []int
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("truncated output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(rows) != st.Rows {
+		t.Fatalf("decoded %d rows, stats say %d", len(rows), st.Rows)
+	}
+	if pulls > st.Rows+2 {
+		t.Fatalf("source pulled %d times for %d delivered rows", pulls, st.Rows)
+	}
+}
+
+func TestStreamArrayExactFitNotTruncated(t *testing.T) {
+	pulls := 0
+	var buf bytes.Buffer
+	st, err := StreamArray(&buf, counting(5, &pulls), Budget{MaxRows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Truncated {
+		t.Fatalf("exact fit marked truncated: %+v", st)
+	}
+	if buf.String() != "[0,1,2,3,4]" {
+		t.Fatalf("body = %s", buf.String())
+	}
+}
+
+// TestTopWordsFirstPageAllocs pins the laziness claim on a large-V
+// model: a 10-row first page over V=200k must stay under a small,
+// generous allocation bound — far below anything that materializes
+// O(V) rows.
+func TestTopWordsFirstPageAllocs(t *testing.T) {
+	const V = 200_000
+	m := testModel(t, V, 2, func(w, k int) int32 { return int32(w%97 + 1) })
+	allocs := testing.AllocsPerRun(5, func() {
+		it, err := TopWords(m, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Collect(Limit(it, 10)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Heap of 10, a handful of closures, 10 rows. 100 is an order of
+	// magnitude of headroom; materializing V rows would be >> 1000.
+	if allocs > 100 {
+		t.Fatalf("first page over V=%d cost %.0f allocs; want < 100", V, allocs)
+	}
+}
+
+func TestVocabSliceIsLazy(t *testing.T) {
+	m := testModel(t, 10_000, 4, skewed(10_000))
+	// Limit(3) over the full-vocab scan: only 3 rows' O(K) sums run.
+	rows, err := Collect(Limit(VocabSlice(m, ""), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[2].ID != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestLabelFallback(t *testing.T) {
+	m := Model{Vocab: []string{"a"}}
+	if got := m.label(0); got != "a" {
+		t.Fatalf("label(0) = %q", got)
+	}
+	if got := m.label(7); got != "7" {
+		t.Fatalf("label(7) = %q", got)
+	}
+	if !strings.HasPrefix(m.label(7), "7") {
+		t.Fatal("decimal fallback broken")
+	}
+}

@@ -1,0 +1,89 @@
+package query
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Budget bounds one streamed response. Zero fields mean "no bound on
+// this axis" — the serve layer always sets both.
+type Budget struct {
+	// MaxRows caps the number of rows delivered.
+	MaxRows int
+	// MaxBytes caps the encoded size of the row array. A row that would
+	// push the array past the cap is not written (it is recomputed by
+	// the next page via the cursor).
+	MaxBytes int64
+}
+
+// StreamStats reports what a StreamArray call actually delivered.
+type StreamStats struct {
+	// Rows is the number of rows written.
+	Rows int
+	// Bytes is the encoded size of the written array, brackets included.
+	Bytes int64
+	// Truncated is true when the budget ended the stream while the
+	// iterator still had rows — the signal to emit a next_cursor.
+	Truncated bool
+}
+
+// StreamArray encodes it as a JSON array directly into w, one row at a
+// time, stopping at the first exhausted budget axis. No more than one
+// row is ever materialized: each row is pulled, encoded, written, and
+// dropped before the next pull, so a row-limited page over an expensive
+// iterator computes only what it delivers (plus the single over-budget
+// probe row, which the next page recomputes via its cursor).
+//
+// On an iterator error the array written so far is left unterminated
+// and the error is returned — callers streaming HTTP bodies have
+// already committed a 200 by then, so they append an error trailer
+// instead of a status change (see the serve layer).
+func StreamArray[T any](w io.Writer, it *Iter[T], b Budget) (StreamStats, error) {
+	var st StreamStats
+	write := func(p []byte) error {
+		n, err := w.Write(p)
+		st.Bytes += int64(n)
+		return err
+	}
+	if err := write([]byte{'['}); err != nil {
+		return st, err
+	}
+	for {
+		if b.MaxRows > 0 && st.Rows >= b.MaxRows {
+			// Probe: is there another row behind the cap?
+			if _, ok := it.Next(); ok {
+				st.Truncated = true
+			} else if err := it.Err(); err != nil {
+				return st, err
+			}
+			break
+		}
+		row, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				return st, err
+			}
+			break
+		}
+		enc, err := json.Marshal(row)
+		if err != nil {
+			return st, err
+		}
+		// +2 covers the separator and the closing bracket.
+		if b.MaxBytes > 0 && st.Bytes+int64(len(enc))+2 > b.MaxBytes {
+			st.Truncated = true
+			break
+		}
+		if st.Rows > 0 {
+			if err := write([]byte{','}); err != nil {
+				return st, err
+			}
+		}
+		if err := write(enc); err != nil {
+			return st, err
+		}
+		st.Rows++
+	}
+	err := write([]byte{']'})
+	return st, err
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -43,6 +44,18 @@ type ModelInfo struct {
 	// LastError is the most recent load/reload failure, empty when the
 	// last operation succeeded.
 	LastError string `json:"last_error,omitempty"`
+
+	// Versions lists the published <name>@<iter>.bin siblings of a base
+	// model, oldest first — the handles a drift query pins (only set by
+	// Info, and only for base names).
+	Versions []VersionInfo `json:"versions,omitempty"`
+}
+
+// VersionInfo identifies one published training iteration of a model:
+// a <base>@<iter>.bin sibling servable under the name "<base>@<iter>".
+type VersionInfo struct {
+	Name string `json:"name"`
+	Iter int    `json:"iter"`
 }
 
 // Stats is registry-wide accounting.
@@ -98,13 +111,45 @@ func (r *Registry) Info(name string) (ModelInfo, bool) {
 	if e != nil {
 		mi := e.info()
 		r.mu.Unlock()
+		mi.Versions = r.Versions(name) // disk scan, off the lock
 		return mi, true
 	}
 	r.mu.Unlock()
 	if _, _, err := r.resolvePath(name); err == nil {
-		return ModelInfo{Name: name, State: "available"}, true
+		return ModelInfo{Name: name, State: "available", Versions: r.Versions(name)}, true
 	}
 	return ModelInfo{}, false
+}
+
+// Versions lists the published versioned siblings <base>@<iter>.bin of
+// a base model, sorted oldest first. Each is servable (and therefore
+// pinnable by a drift query) under the name "<base>@<iter>". Versioned
+// names and unknown bases return nil.
+func (r *Registry) Versions(base string) []VersionInfo {
+	if strings.Contains(base, "@") {
+		return nil
+	}
+	des, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	var out []VersionInfo
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), base+"@") {
+			continue
+		}
+		m := versionedIterRE.FindStringSubmatch(de.Name()[len(base):])
+		if m == nil {
+			continue
+		}
+		iter, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		out = append(out, VersionInfo{Name: base + "@" + m[1], Iter: iter})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	return out
 }
 
 // List returns every model the registry knows about — resident,
