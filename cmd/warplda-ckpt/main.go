@@ -6,6 +6,7 @@
 //	warplda-ckpt verify -dir ckpts           # deep-verify the newest checkpoint
 //	warplda-ckpt verify -dir ckpts -iter 40  # ... or a specific iteration
 //	warplda-ckpt diff   -dir ckpts -a 20 -b 40
+//	warplda-ckpt deltas -publish models/news    # inspect the WARPDLT chain
 //
 // list shows what ListCheckpoints would offer a resuming run. verify
 // goes further than resume-time validation does by default: beyond the
@@ -17,6 +18,14 @@
 // checkpoint verifies in O(shard buffer) memory. diff compares two
 // checkpoints' envelopes: sampler, config, progress, corpus identity,
 // shard layout, and last traced log likelihood.
+//
+// deltas inspects a publish target's incremental-refresh chain: the
+// WARPDLT files -publish-delta leaves next to the base snapshot. Every
+// file is fully decoded (CRC, cell ordering, chain fingerprint) and the
+// chain is checked end to end against the base model on disk — base
+// fingerprint of generation 1, fingerprint linkage between successive
+// generations, and filename/header generation agreement — so it answers
+// the operational question "would a watching warplda-serve fold these?".
 package main
 
 import (
@@ -32,6 +41,8 @@ import (
 	"reflect"
 	"text/tabwriter"
 
+	"warplda"
+	"warplda/internal/fsio"
 	"warplda/internal/sampler"
 	"warplda/internal/train"
 )
@@ -49,6 +60,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "deltas":
+		err = cmdDeltas(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -68,6 +81,7 @@ func usage() {
   warplda-ckpt list   -dir <checkpoint-dir>
   warplda-ckpt verify -dir <checkpoint-dir> [-iter N]
   warplda-ckpt diff   -dir <checkpoint-dir> -a N -b N
+  warplda-ckpt deltas -publish <model-dir>/<name>
 `)
 }
 
@@ -277,6 +291,105 @@ func verifyShard(ck *train.Checkpoint, i int) error {
 			idx, count, i, len(ck.ShardFiles))
 	}
 	return nil
+}
+
+func cmdDeltas(args []string) error {
+	fs := flag.NewFlagSet("deltas", flag.ExitOnError)
+	spec := fs.String("publish", "", "publish target (<model-dir>/<name>) whose delta chain to inspect")
+	fs.Parse(args)
+	if *spec == "" {
+		return fmt.Errorf("deltas: -publish is required")
+	}
+	basePath, name, err := train.PublishPath(*spec)
+	if err != nil {
+		return err
+	}
+	files, err := train.ListDeltaFiles(filepath.Dir(basePath), name)
+	if err != nil {
+		return err
+	}
+
+	// The chain anchor: the served base snapshot's count fingerprint.
+	// A missing/unreadable base is reported but doesn't stop the per-file
+	// decode — the deltas may still be individually well-formed.
+	var prevFP uint64
+	haveBase := false
+	if f, err := os.Open(basePath); err == nil {
+		m, rerr := warplda.ReadModel(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if rerr != nil {
+			fmt.Printf("base %s: UNREADABLE (%v)\n", basePath, rerr)
+		} else {
+			prevFP = fsio.ModelFingerprint(m.V, m.Cfg.K, m.Cw, m.Ck)
+			haveBase = true
+			fmt.Printf("base %s: V=%d K=%d iterLogLik=%.6e fingerprint=%016x\n",
+				basePath, m.V, m.Cfg.K, m.LogLik, prevFP)
+		}
+	} else {
+		fmt.Printf("base %s: MISSING (%v)\n", basePath, err)
+	}
+	if len(files) == 0 {
+		fmt.Println("no delta files")
+		return nil
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "GEN\tITER\tCELLS\tBYTES\tBASEFP\tNEWFP\tSTATUS")
+	bad := 0
+	expectGen := int64(1)
+	for _, df := range files {
+		status := "OK"
+		d, size, rerr := readDeltaFile(df.Path)
+		switch {
+		case rerr != nil:
+			status = fmt.Sprintf("CORRUPT: %v", rerr)
+		case d.Gen != df.Gen:
+			status = fmt.Sprintf("BAD: header generation %d under a .dlt.%d name", d.Gen, df.Gen)
+		case df.Gen != expectGen:
+			status = fmt.Sprintf("GAP: expected generation %d next", expectGen)
+		case haveBase && d.BaseFP != prevFP:
+			status = fmt.Sprintf("BROKEN LINK: base fingerprint %016x, chain stands at %016x", d.BaseFP, prevFP)
+		}
+		if status != "OK" {
+			bad++
+			if d == nil {
+				fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t%s\n", df.Gen, status)
+				continue
+			}
+		} else {
+			prevFP = d.NewFP
+			expectGen = df.Gen + 1
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%016x\t%016x\t%s\n",
+			df.Gen, d.Iter, len(d.Cells), size, d.BaseFP, d.NewFP, status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d delta files would be rejected by a serving registry", bad, len(files))
+	}
+	fmt.Printf("chain OK: %d deltas, head fingerprint %016x\n", len(files), prevFP)
+	return nil
+}
+
+// readDeltaFile decodes one WARPDLT file, returning its size for the
+// listing.
+func readDeltaFile(path string) (*fsio.ModelDelta, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := fsio.ReadDelta(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, st.Size(), err
+	}
+	return d, st.Size(), nil
 }
 
 func cmdDiff(args []string) error {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"warplda"
 	"warplda/internal/cluster"
 	"warplda/internal/core"
 	"warplda/internal/corpus"
@@ -230,5 +231,102 @@ func TestCkptCLIBadArgs(t *testing.T) {
 	}
 	if !strings.Contains(out, "no checkpoints") {
 		t.Fatalf("list of empty dir: %q", out)
+	}
+}
+
+// TestCkptDeltas drives the deltas subcommand against a real publish
+// target: a base snapshot plus a two-link WARPDLT chain written by the
+// production publisher, then the same chain with one corrupted link.
+func TestCkptDeltas(t *testing.T) {
+	c, err := corpus.GenerateLDA(corpus.SyntheticConfig{
+		D: 40, V: 50, K: 4, MeanLen: 15, Alpha: 0.1, Beta: 0.05, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampler.PaperDefaults(4)
+	cfg.M = 2
+	m, err := warplda.Train(c, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "news")
+	pub, err := warplda.NewDeltaPublisher(spec, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perturb nudges a few counts so each publish yields non-empty cells.
+	perturb := func(salt int32) {
+		for i := 0; i < 3; i++ {
+			m.Cw[(int(salt)*13+i*7)%len(m.Cw)]++
+		}
+		for k := range m.Ck {
+			m.Ck[k] = 0
+		}
+		for w := 0; w < m.V; w++ {
+			for k := 0; k < m.Cfg.K; k++ {
+				m.Ck[k] += int64(m.Cw[w*m.Cfg.K+k])
+			}
+		}
+	}
+	if _, err := pub.Publish(m, 5); err != nil { // base
+		t.Fatal(err)
+	}
+	perturb(1)
+	if _, err := pub.Publish(m, 6); err != nil { // gen 1
+		t.Fatal(err)
+	}
+	perturb(2)
+	r, err := pub.Publish(m, 7) // gen 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gen != 2 {
+		t.Fatalf("second delta has generation %d, want 2", r.Gen)
+	}
+
+	out, err := captureStdout(t, func() error { return cmdDeltas([]string{"-publish", spec}) })
+	if err != nil {
+		t.Fatalf("deltas rejected a healthy chain: %v\n%s", err, out)
+	}
+	for _, want := range []string{"chain OK: 2 deltas", "GEN", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("deltas output missing %q:\n%s", want, out)
+		}
+	}
+
+	// One flipped byte in the newest link: that row reports CORRUPT and
+	// the command exits non-zero naming the rejected count.
+	data, err := os.ReadFile(r.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(r.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureStdout(t, func() error { return cmdDeltas([]string{"-publish", spec}) })
+	if err == nil {
+		t.Fatalf("deltas accepted a corrupt chain:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("error does not count the rejected file: %v", err)
+	}
+	if !strings.Contains(out, "CORRUPT") {
+		t.Fatalf("output does not flag the corrupt link:\n%s", out)
+	}
+
+	// No deltas at all is healthy: a full-snapshot-only target.
+	if _, err := train.RemoveDeltaFiles(spec); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureStdout(t, func() error { return cmdDeltas([]string{"-publish", spec}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no delta files") {
+		t.Fatalf("empty chain: %q", out)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"warplda"
 	"warplda/internal/corpus"
 	"warplda/internal/dist"
 	"warplda/internal/sampler"
@@ -54,12 +55,24 @@ func run() int {
 		ckptKeep   = flag.Int("checkpoint-keep", 3, "keep the newest N checkpoints")
 		hbInterval = flag.Duration("heartbeat-interval", time.Second, "worker ping cadence")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 30*time.Second, "silence after which a worker is declared dead")
+		publish    = flag.String("publish", "", "publish the model after every committed checkpoint as DIR/NAME (e.g. models/news); a serving registry picks up each refresh")
+		pubDelta   = flag.Bool("publish-delta", false, "with -publish: emit an incremental WARPDLT delta per checkpoint instead of a full snapshot, rebasing onto a full snapshot every -delta-max-chain deltas")
+		deltaChain = flag.Int("delta-max-chain", 16, "with -publish-delta: full-snapshot rebase cadence")
+		pubKeep    = flag.Int("publish-keep", 0, "with -publish: keep only the newest N versioned snapshots (0 = keep all)")
 	)
 	flag.Parse()
 
 	if *corpusPath == "" || *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "warplda-coordinator: -corpus and -checkpoint-dir are required")
 		flag.Usage()
+		return 2
+	}
+	if *pubDelta && *publish == "" {
+		fmt.Fprintln(os.Stderr, "warplda-coordinator: -publish-delta requires -publish")
+		return 2
+	}
+	if *pubDelta && *deltaChain < 1 {
+		fmt.Fprintln(os.Stderr, "warplda-coordinator: -delta-max-chain must be >= 1")
 		return 2
 	}
 	f, err := os.Open(*corpusPath)
@@ -82,6 +95,45 @@ func run() int {
 		cfg.Alpha = *alpha
 	}
 
+	// Publishing rides the sync points: after every committed checkpoint
+	// the shadow sampler already holds the globally consistent state, so
+	// the hook snapshots it and installs either a full versioned model or
+	// one WARPDLT chain link a watching warplda-serve folds in place. A
+	// failed publish is logged, never fatal — the next sync retries.
+	var onSync func(iter int, s sampler.Sampler)
+	if *publish != "" {
+		if _, _, err := warplda.PublishModelPath(*publish); err != nil {
+			return fatal(err)
+		}
+		if *pubDelta {
+			deltaPub, err := warplda.NewDeltaPublisher(*publish, *deltaChain, *pubKeep)
+			if err != nil {
+				return fatal(err)
+			}
+			onSync = func(iter int, s sampler.Sampler) {
+				r, err := deltaPub.Publish(warplda.Snapshot(c, s, cfg), iter)
+				if err != nil {
+					log.Printf("publish at iteration %d: %v", iter, err)
+					return
+				}
+				if r.Full {
+					log.Printf("published base snapshot: iter %d -> %s", iter, r.Path)
+				} else {
+					log.Printf("published delta: iter %d -> %s (gen %d, %d cells)", iter, r.Path, r.Gen, r.Cells)
+				}
+			}
+		} else {
+			onSync = func(iter int, s sampler.Sampler) {
+				path, err := publishFull(warplda.Snapshot(c, s, cfg), *publish, iter, *pubKeep)
+				if err != nil {
+					log.Printf("publish at iteration %d: %v", iter, err)
+					return
+				}
+				log.Printf("published model: iter %d -> %s", iter, path)
+			}
+		}
+	}
+
 	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
 		Addr:              *addr,
 		Corpus:            c,
@@ -94,6 +146,7 @@ func run() int {
 		HeartbeatInterval: *hbInterval,
 		HeartbeatTimeout:  *hbTimeout,
 		Logf:              log.Printf,
+		OnSync:            onSync,
 	})
 	if err != nil {
 		return fatal(err)
@@ -119,6 +172,28 @@ func run() int {
 	}
 	log.Printf("training complete")
 	return 0
+}
+
+// publishFull installs m as the versioned snapshot <spec>@<iter>.bin
+// and repoints the latest marker at it, in that order — a crash between
+// the two leaves the previous version served, never a missing target.
+func publishFull(m *warplda.Model, spec string, iter, keep int) (string, error) {
+	vPath, _, err := warplda.PublishModelVersionPath(spec, iter)
+	if err != nil {
+		return "", err
+	}
+	if _, err := m.WriteFile(vPath); err != nil {
+		return "", err
+	}
+	if _, err := warplda.PublishModelLatest(spec, iter); err != nil {
+		return "", err
+	}
+	if keep > 0 {
+		if _, err := warplda.PruneModelVersions(spec, keep); err != nil {
+			return "", err
+		}
+	}
+	return vPath, nil
 }
 
 func fatal(err error) int {

@@ -553,6 +553,7 @@ func main() {
 		updateBase  = flag.String("update-baseline", "", "write a fresh baseline report here and exit")
 		p99Budget   = flag.Duration("p99-budget", 0, "absolute P99 latency ceiling (0 = off)")
 		minThrough  = flag.Float64("min-throughput", 0, "absolute requests/s floor (0 = off)")
+		maxErrors   = flag.Int64("max-errors", -1, "fail if failed requests (non-2xx/non-503 plus transport errors) exceed this; -1 = off — always armed, unlike the perf gates")
 		gateMinCPUs = flag.Int("gate-min-cpus", 4, "arm the gates only when the runner has at least this many CPUs; below it violations are informational")
 	)
 	flag.Parse()
@@ -607,6 +608,13 @@ func main() {
 		// Not a gating question: zero successes means the target is down
 		// or misconfigured, on any runner size.
 		fatal(fmt.Errorf("no successful requests (%d shed, %d errors) — is %s serving?", rep.Shed, rep.Errors, *url))
+	}
+	if *maxErrors >= 0 && rep.Errors > *maxErrors {
+		// Like ok == 0, this arms regardless of runner size: a failed
+		// request is a correctness failure (a live refresh broke a
+		// response), not a latency measurement. Shed 503s stay exempt —
+		// admission control is allowed to say no.
+		fatal(fmt.Errorf("%d failed requests (budget %d) — the serve path broke under load", rep.Errors, *maxErrors))
 	}
 	rep.SHA = *sha
 	fmt.Printf("warplda-loadgen: %s %s %d workers, %.1fs: %d ok, %d shed, %d errors, %.1f req/s, P50 %.1fms P95 %.1fms P99 %.1fms\n",

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warplda"
+	"warplda/internal/registry"
+)
+
+// TestServeDeltaStreamEquivalence is the end-to-end refresh-correctness
+// gate: a model served through a streamed WARPDLT chain must answer
+// /v1 inference and query requests byte-identically to a server that
+// loaded a full snapshot republished at the same training iteration.
+// The deltas are folded by the registry's poller while request traffic
+// runs concurrently (run under -race, this also exercises the fold /
+// serve interleaving), so it proves both halves of the tentpole: the
+// fold is exact, and it happens off the request path.
+func TestServeDeltaStreamEquivalence(t *testing.T) {
+	docs := make([]string, 0, 40)
+	for i := 0; i < 20; i++ {
+		docs = append(docs, "gopher compiler runtime goroutine gopher compiler runtime")
+		docs = append(docs, "stock market price bond stock market price")
+	}
+	c := warplda.FromText(docs, warplda.TokenizeOptions{})
+	cfg := warplda.Defaults(2)
+	cfg.Alpha = 0.2
+	smp, err := warplda.NewSampler(warplda.WarpLDA, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterate := func(n int) {
+		for i := 0; i < n; i++ {
+			smp.Iterate()
+		}
+	}
+	iterate(40)
+
+	// Server A: base snapshot at iteration 40, fast-polling registry.
+	dirA := t.TempDir()
+	spec := filepath.Join(dirA, "news")
+	pub, err := warplda.NewDeltaPublisher(spec, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(warplda.Snapshot(c, smp, cfg), 40); err != nil {
+		t.Fatal(err)
+	}
+	regA, err := registry.Open(dirA, registry.Options{ReloadInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(regA.Close)
+	srvA, err := NewServer(regA, ServeOptions{Sweeps: 30, MaxBatch: 8, DefaultModel: "news"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the model resident: the poller folds deltas only into served
+	// engines.
+	if rec, _ := postInfer(t, srvA, `{"docs": [[0,1,2]]}`); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up infer: status %d: %s", rec.Code, rec.Body)
+	}
+
+	// Stream deltas while concurrent traffic hits the server. Every
+	// in-flight response must succeed — a swap never takes the model
+	// away mid-stream.
+	const nDeltas = 4
+	stop := make(chan struct{})
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var req *http.Request
+				if (i+w)%2 == 0 {
+					req = httptest.NewRequest(http.MethodPost, "/v1/infer",
+						strings.NewReader(`{"texts": ["gopher compiler runtime"]}`))
+				} else {
+					req = httptest.NewRequest(http.MethodGet, "/v1/models/news/query/topwords?topic=0&limit=5", nil)
+				}
+				rec := httptest.NewRecorder()
+				srvA.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	// perturb nudges a few counts (keeping Ck consistent with Cw) so an
+	// interval where the converged toy sampler happens not to move still
+	// produces a non-empty delta — empty deltas would make the
+	// equivalence below vacuous.
+	perturb := func(m *warplda.Model, salt int) {
+		for i := 0; i < 3; i++ {
+			m.Cw[(salt*13+i*7)%len(m.Cw)]++
+		}
+		for k := range m.Ck {
+			m.Ck[k] = 0
+		}
+		for w := 0; w < m.V; w++ {
+			for k := 0; k < m.Cfg.K; k++ {
+				m.Ck[k] += int64(m.Cw[w*m.Cfg.K+k])
+			}
+		}
+	}
+	var final *warplda.Model
+	for g := 1; g <= nDeltas; g++ {
+		iterate(5)
+		final = warplda.Snapshot(c, smp, cfg)
+		perturb(final, g)
+		r, err := pub.Publish(final, 40+5*g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Full || r.Gen != int64(g) {
+			t.Fatalf("publish %d: full=%t generation %d, want delta generation %d", g, r.Full, r.Gen, g)
+		}
+		if r.Cells == 0 {
+			t.Fatalf("delta %d is empty; the equivalence check would be vacuous", g)
+		}
+		// Let the poller catch this link before the next one lands, so
+		// the folds interleave with live traffic instead of batching up.
+		deadline := time.Now().Add(5 * time.Second)
+		for regA.RegistryStats().DeltasApplied < int64(g) {
+			if time.Now().After(deadline) {
+				t.Fatalf("poller did not fold delta %d (stats: %+v)", g, regA.RegistryStats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		t.Fatalf("%d requests failed while deltas streamed in", n)
+	}
+	st := regA.RegistryStats()
+	if st.DeltasApplied != nDeltas || st.DeltaRejected != 0 {
+		t.Fatalf("stats after stream: %+v, want %d applied / 0 rejected", st, nDeltas)
+	}
+	if st.WordsRebuilt == 0 || st.FoldMs < 0 {
+		t.Fatalf("fold accounting missing: %+v", st)
+	}
+
+	// Server B: the same final state, but as a full snapshot loaded
+	// fresh — the reference the folded server must match byte for byte.
+	srvB, _ := newTestServer(t, ServeOptions{Sweeps: 30, MaxBatch: 8}, registry.Options{},
+		map[string]*warplda.Model{"news": final}, "news")
+
+	requests := []struct {
+		name, method, path, body string
+	}{
+		{"infer ids", http.MethodPost, "/v1/infer", `{"docs": [[0,1,2,0,1],[3,4,5,3]]}`},
+		{"infer texts", http.MethodPost, "/v1/infer", `{"texts": ["gopher compiler runtime goroutine","stock market price"]}`},
+		{"infer empty doc", http.MethodPost, "/v1/infer", `{"docs": [[]]}`},
+		{"topwords 0", http.MethodGet, "/v1/models/news/query/topwords?topic=0&limit=5", ""},
+		{"topwords 1", http.MethodGet, "/v1/models/news/query/topwords?topic=1&limit=5", ""},
+		{"vocab", http.MethodGet, "/v1/models/news/query/vocab?limit=10", ""},
+		{"topdocs", http.MethodPost, "/v1/models/news/query/topdocs",
+			`{"texts": ["gopher compiler","stock market","price bond market"], "topic": 0, "limit": 3}`},
+		{"similar", http.MethodPost, "/v1/models/news/query/similar",
+			`{"query_text": "gopher runtime", "texts": ["gopher compiler","stock market"], "limit": 2}`},
+	}
+	for _, rq := range requests {
+		t.Run(rq.name, func(t *testing.T) {
+			a := normalizedResponse(t, srvA, rq.method, rq.path, rq.body)
+			b := normalizedResponse(t, srvB, rq.method, rq.path, rq.body)
+			if a != b {
+				t.Errorf("folded and fresh servers disagree:\nfolded: %s\nfresh:  %s", a, b)
+			}
+		})
+	}
+
+	// The generation is visible on the wire: the folded server reports
+	// the chain position, the fresh load reports 0.
+	var miA, miB registry.ModelInfo
+	getJSON(t, srvA, "/v1/models/news", &miA)
+	getJSON(t, srvB, "/v1/models/news", &miB)
+	if miA.Generation != nDeltas {
+		t.Errorf("folded server reports generation %d, want %d", miA.Generation, nDeltas)
+	}
+	if miB.Generation != 0 {
+		t.Errorf("fresh server reports generation %d, want 0", miB.Generation)
+	}
+}
+
+// normalizedResponse performs one request and returns the response body
+// with the volatile fields (took_ms timing, version/generation counters
+// that legitimately differ between a folded and a freshly loaded
+// server) removed, leaving exactly the semantic payload.
+func normalizedResponse(t *testing.T, h http.Handler, method, path, body string) string {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s %s: status %d: %s", method, path, rec.Code, rec.Body)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	delete(m, "took_ms")
+	delete(m, "version")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

@@ -85,6 +85,8 @@ type trainFlags struct {
 	budget         time.Duration
 	publish        string
 	publishKeep    int
+	publishDelta   bool
+	deltaMaxChain  int
 	stream         bool
 	corpusCache    string
 	maxResidentMB  int
@@ -133,6 +135,12 @@ func validateFlags(f trainFlags) error {
 	if f.publishKeep > 0 && f.publish == "" {
 		return fmt.Errorf("-publish-keep only applies with -publish")
 	}
+	if f.publishDelta && f.publish == "" {
+		return fmt.Errorf("-publish-delta only applies with -publish")
+	}
+	if f.publishDelta && f.deltaMaxChain < 1 {
+		return fmt.Errorf("-delta-max-chain = %d, want >= 1", f.deltaMaxChain)
+	}
 	known := append(append([]string(nil), warplda.Algorithms...), warplda.Distributed)
 	for _, a := range known {
 		if f.algo == a {
@@ -162,6 +170,8 @@ func run() int {
 		resumePath = flag.String("resume", "", "resume from this checkpoint file (or its directory); reuses the checkpoint's configuration — pass the same -algo")
 		publish    = flag.String("publish", "", "after training, atomically install the model as <model-dir>/<name> for a running warplda-serve")
 		pubKeep    = flag.Int("publish-keep", 0, "keep only the newest N published @version snapshots, never the one latest points at (0 = keep all)")
+		pubDelta   = flag.Bool("publish-delta", false, "with -publish: publish incrementally during training — a full base snapshot once, then a WARPDLT delta file per -checkpoint-every interval that a watching warplda-serve folds into the live engine")
+		deltaChain = flag.Int("delta-max-chain", 16, "with -publish-delta: rebase onto a fresh full snapshot after this many chained deltas")
 		budget     = flag.Duration("budget", 0, "wall-clock sampling budget (e.g. 2h30m); 0 = none")
 		stream     = flag.Bool("stream", false, "out-of-core ingestion: build (or reuse) a .warpcorpus cache and memory-map it instead of loading the corpus into RAM")
 		cacheDir   = flag.String("corpus-cache", "", "directory for the .warpcorpus cache (with -stream; default: the corpus file's directory)")
@@ -172,8 +182,8 @@ func run() int {
 	if err := validateFlags(trainFlags{
 		corpusPath: *corpusPath, algo: *algo, topics: *topics, m: *m,
 		iters: *iters, threads: *threads, budget: *budget, publish: *publish,
-		publishKeep: *pubKeep,
-		stream:      *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
+		publishKeep: *pubKeep, publishDelta: *pubDelta, deltaMaxChain: *deltaChain,
+		stream: *stream, corpusCache: *cacheDir, maxResidentMB: *maxResMB,
 		checkpointKeep: *ckptKeep,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "warplda-train: %v\n", err)
@@ -310,6 +320,37 @@ func run() int {
 		os.Exit(130)
 	}()
 
+	// Incremental publishing: a base snapshot on the first interval,
+	// then one WARPDLT delta per -checkpoint-every interval, rebased
+	// onto a fresh base every -delta-max-chain links. A failed interval
+	// publish is reported but never kills the training run — the next
+	// interval (or the final publish) retries.
+	var deltaPub *warplda.DeltaPublisher
+	lastPublished := -1
+	if *pubDelta {
+		var err error
+		if deltaPub, err = warplda.NewDeltaPublisher(*publish, *deltaChain, *pubKeep); err != nil {
+			return fatal(err)
+		}
+	}
+	publishIncremental := func(iter int) {
+		model := warplda.Snapshot(c, s, cfg)
+		if model.Vocab == nil && vocab != nil {
+			model.Vocab = vocab
+		}
+		r, err := deltaPub.Publish(model, iter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warplda-train: publish at iteration %d: %v\n", iter, err)
+			return
+		}
+		lastPublished = iter
+		if r.Full {
+			fmt.Printf("published base snapshot: iter %d -> %s\n", iter, r.Path)
+		} else {
+			fmt.Printf("published delta: iter %d -> %s (gen %d, %d cells)\n", iter, r.Path, r.Gen, r.Cells)
+		}
+	}
+
 	res, err := warplda.TrainCheckpointed(s, c, cfg, warplda.TrainOptions{
 		Iters:           *iters,
 		EvalEvery:       *evalEvery,
@@ -329,6 +370,11 @@ func run() int {
 			}
 			if ev.Checkpoint != "" {
 				fmt.Printf("checkpoint: iter %d -> %s\n", ev.Iter, ev.Checkpoint)
+			}
+			// Progress runs between iterations, so the sampler state is
+			// quiescent and snapshotting here is safe.
+			if deltaPub != nil && *ckptEvery > 0 && ev.Iter%*ckptEvery == 0 && ev.Iter < ev.Iters {
+				publishIncremental(ev.Iter)
 			}
 		},
 	})
@@ -379,6 +425,9 @@ func run() int {
 			if *publish != "" {
 				cmd += " -publish " + *publish
 			}
+			if *pubDelta {
+				cmd += fmt.Sprintf(" -publish-delta -delta-max-chain %d", *deltaChain)
+			}
 			fmt.Fprintf(os.Stderr, "warplda-train: resume with: %s -resume %s\n", cmd, res.CheckpointPath)
 		} else {
 			fmt.Fprintln(os.Stderr, "warplda-train: no checkpoint written (set -checkpoint-dir); progress lost")
@@ -399,7 +448,14 @@ func run() int {
 		}
 		fmt.Printf("model saved to %s (%d bytes, checksummed snapshot v2)\n", *savePath, n)
 	}
-	if *publish != "" {
+	if deltaPub != nil {
+		// Delta mode owns the publish target: the final state goes out
+		// as one more chain link (or a rebase when the chain is full) so
+		// a watching server folds it instead of paying a full reload.
+		if res.Iter != lastPublished {
+			publishIncremental(res.Iter)
+		}
+	} else if *publish != "" {
 		// The pinned version first (servable forever as <name>@<iter>),
 		// then the atomically-swapped "latest" pointer the bare <name>
 		// follows — the order matters: a crash between the two leaves the

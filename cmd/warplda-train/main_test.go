@@ -32,6 +32,12 @@ func TestValidateFlags(t *testing.T) {
 		{"unknown algo", func(f *trainFlags) { f.algo = "vibes" }, "-algo"},
 		{"publish without name", func(f *trainFlags) { f.publish = "justaname" }, "publish"},
 		{"publish with .bin", func(f *trainFlags) { f.publish = "models/news.bin" }, ".bin"},
+		{"publish-delta without publish", func(f *trainFlags) { f.publishDelta = true; f.deltaMaxChain = 16 }, "-publish-delta"},
+		{"zero delta-max-chain", func(f *trainFlags) {
+			f.publish = "models/news"
+			f.publishDelta = true
+			f.deltaMaxChain = 0
+		}, "-delta-max-chain"},
 		{"negative max-resident-mb", func(f *trainFlags) { f.stream = true; f.maxResidentMB = -1 }, "-max-resident-mb"},
 		{"corpus-cache without stream", func(f *trainFlags) { f.corpusCache = "cache/" }, "-stream"},
 		{"max-resident-mb without stream", func(f *trainFlags) { f.maxResidentMB = 128 }, "-stream"},

@@ -73,6 +73,13 @@ type CoordinatorConfig struct {
 	WriteTimeout time.Duration
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// OnSync, when non-nil, is called after every committed checkpoint
+	// with the synced iteration and the coordinator's shadow sampler
+	// (valid for the duration of the call only — the driver goroutine
+	// blocks until it returns, so keep it short; snapshot what you need
+	// and return). It is the hook serving-side publishers use to emit a
+	// model or WARPDLT delta per sync point.
+	OnSync func(iter int, s sampler.Sampler)
 }
 
 func (cc CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
@@ -694,6 +701,9 @@ func (co *Coordinator) syncCheckpoint(ctx context.Context, hb *time.Ticker, shad
 		return err
 	}
 	co.logf("iteration %d: log likelihood %.1f, checkpoint committed", iter, ll)
+	if co.cfg.OnSync != nil {
+		co.cfg.OnSync(iter, shadow)
+	}
 	return nil
 }
 

@@ -41,6 +41,17 @@ const frameMagic = "WRPF"
 // trigger a multi-gigabyte allocation ahead of the CRC check.
 const MaxFramePayload = 1 << 30
 
+// frameAllocChunk bounds how far ReadFrame's payload buffer grows ahead
+// of the bytes actually read.
+const frameAllocChunk = 64 << 10
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // MsgType identifies a frame's payload schema (see proto.go).
 type MsgType uint8
 
@@ -142,9 +153,17 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	if n > MaxFramePayload {
 		return 0, nil, fmt.Errorf("dist: %s frame declares %d-byte payload, limit %d", typ, n, MaxFramePayload)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("dist: reading %s payload: %w", typ, err)
+	// Grow the payload buffer as bytes actually arrive instead of
+	// trusting the length prefix: a hostile or corrupt header claiming
+	// a gigabyte then hanging up costs one chunk, not the claim.
+	payload := make([]byte, 0, minInt(int(n), frameAllocChunk))
+	for len(payload) < int(n) {
+		g := minInt(int(n)-len(payload), frameAllocChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, g)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, fmt.Errorf("dist: reading %s payload: %w", typ, err)
+		}
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {

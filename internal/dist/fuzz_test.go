@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds ReadFrame hostile bytes: the decoder must never
+// panic, never allocate proportionally to a forged length prefix, and
+// every frame it accepts must re-encode to the exact bytes it consumed
+// (the format has one canonical encoding).
+func FuzzDecodeFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, MsgHello, []byte("worker-1")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	if err := WriteFrame(&empty, MsgPing, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte(frameMagic))
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:valid.Len()-2])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[6] ^= 0x01 // length prefix
+	f.Add(flipped)
+	// A maximal length claim with no payload behind it.
+	huge := []byte(frameMagic + "\x05\xff\xff\xff\x3f")
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := WriteFrame(&re, typ, payload); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatalf("re-encoded frame differs from the consumed bytes:\n got %x\nwant %x", re.Bytes(), data[:re.Len()])
+		}
+	})
+}
+
+// TestReadFrameTruncationFootprint pins the chunked-allocation defense:
+// a header declaring the 1 GiB maximum with no payload behind it must
+// fail after one chunk, not after reserving the claim.
+func TestReadFrameTruncationFootprint(t *testing.T) {
+	hostile := []byte(frameMagic + "\x05\xff\xff\xff\x3f") // MaxFramePayload declared, zero bytes delivered
+	if _, _, err := ReadFrame(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("truncated 1 GiB frame accepted")
+	}
+	// Allocation tracks delivered bytes: a short prefix of real payload
+	// fails at EOF with only chunk-sized growth behind it.
+	withSome := append(append([]byte(nil), hostile...), make([]byte, 1024)...)
+	if _, _, err := ReadFrame(bytes.NewReader(withSome)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

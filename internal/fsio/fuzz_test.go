@@ -1,0 +1,48 @@
+package fsio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadDelta throws arbitrary bytes at the WARPDLT decoder. The
+// decoder's contract on hostile input: return an error — never panic,
+// and never allocate beyond what the bytes actually delivered justify
+// (enforced structurally by the chunked growth in ReadDelta; the fuzzer
+// catches the panic half and any future regression that reintroduces
+// header-trusting allocation large enough to OOM the worker).
+func FuzzReadDelta(f *testing.F) {
+	// Seed 1: a well-formed delta, so the fuzzer starts with deep
+	// coverage of the happy path and mutates from there.
+	d := &ModelDelta{
+		V: 4, K: 3, Gen: 2,
+		BaseFP: 0x1234, Iter: 5, LogLik: -10.25,
+		Cells: []DeltaCell{{W: 0, T: 0, Add: 1}, {W: 3, T: 2, Add: -2}},
+		Ck:    []int64{3, 0, 1},
+	}
+	d.NewFP = ChainFingerprint(d.BaseFP, d.Gen, d.Cells, d.Ck)
+	var buf bytes.Buffer
+	if _, err := d.WriteDelta(&buf); err != nil {
+		f.Fatalf("seed delta: %v", err)
+	}
+	f.Add(buf.Bytes())
+	// Seed 2: magic only. Seed 3: empty. Seed 4: magic + garbage.
+	f.Add([]byte(DeltaMagic))
+	f.Add([]byte{})
+	f.Add(append([]byte(DeltaMagic), bytes.Repeat([]byte{0xff}, 64)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDelta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must re-validate and re-encode.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("decoded delta fails Validate: %v", verr)
+		}
+		var out bytes.Buffer
+		if _, werr := got.WriteDelta(&out); werr != nil {
+			t.Fatalf("re-encoding accepted delta: %v", werr)
+		}
+	})
+}

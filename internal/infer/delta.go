@@ -1,0 +1,150 @@
+package infer
+
+// Copy-on-write incremental refresh. ApplyDelta folds a WARPDLT delta
+// (changed C_wk cells + new C_k vector) into a served engine by
+// building a NEW engine that shares every untouched per-word alias
+// table with the old one, so the ongoing requests against the old
+// engine and the fold never observe each other. The serve layer swaps
+// the returned engine in atomically, exactly like a warm-prefetch
+// reload — the request path never pays a cold O(V·K) build.
+//
+// Which words must be rebuilt is subtler than "words with changed
+// cells": the per-word proposal weights are C_wk/(C_k+β̄), so a word's
+// table is stale whenever ANY topic it has support on changed its
+// global count C_k — which continued training almost always does
+// broadly. Byte-identical equivalence with a freshly built engine (the
+// property the equivalence suite enforces) therefore requires
+// rebuilding
+//
+//	touched(w) ⇔ some cell (w,·) changed ∨ ∃k: C_k changed ∧ C_wk > 0
+//
+// and sharing the rest. Untouched words see bit-identical inputs to
+// alias.SparseTable.Build, and the build is deterministic, so sharing
+// the old table IS the fresh table. The shared smoothing table and
+// C_k+β̄ row are rebuilt unconditionally (O(K), trivial).
+
+import (
+	"fmt"
+
+	"warplda/internal/fsio"
+)
+
+// Counts returns the engine's backing count slices (C_wk row-major by
+// word, and C_k). They are the engine's own state: callers must treat
+// them as read-only. The serving layer uses them to derive the model
+// view of a freshly folded engine without duplicating the matrices.
+func (e *Engine) Counts() ([]int32, []int64) { return e.p.Cw, e.p.Ck }
+
+// ApplyDelta returns a new engine with d folded in, plus the number of
+// per-word alias tables it had to rebuild. The receiver is not
+// modified and remains fully usable; on error it is untouched and the
+// returned engine is nil. The new engine inherits the receiver's
+// MHSteps/Workers options and starts with fresh serving counters.
+//
+// d must target this engine's state: matching dims, in-range cells,
+// non-negative folded counts, and a new C_k consistent with the cell
+// adds per topic. Chain-level checks (fingerprints, generation
+// contiguity) are the caller's job — the registry validates the chain
+// before folding.
+func (e *Engine) ApplyDelta(d *fsio.ModelDelta) (*Engine, int, error) {
+	p := e.p
+	if d.V != p.V || d.K != p.K {
+		return nil, 0, fmt.Errorf("infer: delta dims %d×%d against a %d×%d engine", d.V, d.K, p.V, p.K)
+	}
+	if len(d.Ck) != p.K {
+		return nil, 0, fmt.Errorf("infer: delta has %d topic counts, want %d", len(d.Ck), p.K)
+	}
+
+	// Fold the cells into a private copy of C_wk, tracking the per-topic
+	// sum of adds so the redundant C_k vector can be cross-checked.
+	newCw := make([]int32, len(p.Cw))
+	copy(newCw, p.Cw)
+	sumAdds := make([]int64, p.K)
+	cellTouched := make([]bool, p.V)
+	for i, c := range d.Cells {
+		if c.W < 0 || int(c.W) >= p.V || c.T < 0 || int(c.T) >= p.K {
+			return nil, 0, fmt.Errorf("infer: delta cell %d = (%d,%d) outside %d×%d", i, c.W, c.T, p.V, p.K)
+		}
+		idx := int(c.W)*p.K + int(c.T)
+		nv := newCw[idx] + c.Add
+		if nv < 0 {
+			return nil, 0, fmt.Errorf("infer: delta cell %d drives C[%d,%d] negative (%d%+d)", i, c.W, c.T, newCw[idx], c.Add)
+		}
+		newCw[idx] = nv
+		sumAdds[c.T] += int64(c.Add)
+		cellTouched[c.W] = true
+	}
+	newCk := make([]int64, p.K)
+	copy(newCk, d.Ck)
+	var ckChanged []int
+	for k := 0; k < p.K; k++ {
+		if newCk[k] < 0 {
+			return nil, 0, fmt.Errorf("infer: delta topic count Ck[%d] = %d, want >= 0", k, newCk[k])
+		}
+		if newCk[k] != p.Ck[k]+sumAdds[k] {
+			return nil, 0, fmt.Errorf("infer: delta Ck[%d] = %d inconsistent with cell adds (%d%+d)", k, newCk[k], p.Ck[k], sumAdds[k])
+		}
+		if newCk[k] != p.Ck[k] {
+			ckChanged = append(ckChanged, k)
+		}
+	}
+
+	ne := &Engine{
+		p:        Params{V: p.V, K: p.K, Alpha: p.Alpha, Beta: p.Beta, Cw: newCw, Ck: newCk},
+		alphaBar: e.alphaBar,
+		ckBar:    make([]float64, p.K),
+		words:    make([]wordTab, p.V),
+		mh:       e.mh,
+		workers:  e.workers,
+	}
+	betaBar := p.Beta * float64(p.V)
+	smoothW := make([]float64, p.K)
+	for k := 0; k < p.K; k++ {
+		ne.ckBar[k] = float64(newCk[k]) + betaBar
+		smoothW[k] = p.Beta / ne.ckBar[k]
+		ne.zbSmooth += smoothW[k]
+	}
+	ne.smooth.Build(smoothW)
+
+	rebuilt := 0
+	var topics []int32
+	var weights []float64
+	for w := 0; w < p.V; w++ {
+		touched := cellTouched[w]
+		if !touched {
+			// The word's cells are unchanged; its table is stale only if
+			// a topic it has support on changed its denominator C_k+β̄.
+			row := p.Cw[w*p.K : (w+1)*p.K]
+			for _, k := range ckChanged {
+				if row[k] > 0 {
+					touched = true
+					break
+				}
+			}
+		}
+		if !touched {
+			// Bit-identical inputs ⇒ the old table IS what a fresh build
+			// would produce; share it (struct copy shares the backing
+			// slices, which are read-only after construction).
+			ne.words[w] = e.words[w]
+			continue
+		}
+		rebuilt++
+		row := newCw[w*p.K : (w+1)*p.K]
+		topics, weights = topics[:0], weights[:0]
+		var za float64
+		for k, c := range row {
+			if c > 0 {
+				q := float64(c) / ne.ckBar[k]
+				topics = append(topics, int32(k))
+				weights = append(weights, q)
+				za += q
+			}
+		}
+		if len(topics) > 0 {
+			ne.words[w].tab.Build(topics, weights)
+		}
+		ne.words[w].za = za
+	}
+	return ne, rebuilt, nil
+}

@@ -1,0 +1,30 @@
+package query
+
+import "testing"
+
+// FuzzParseCursor feeds the /v1 pagination-cursor parser arbitrary
+// client-controlled strings: it must never panic, every accepted cursor
+// is a non-negative offset, and re-encoding the offset yields a cursor
+// that parses back to the same position (cursors echo through clients
+// opaquely, so the round trip is the API contract).
+func FuzzParseCursor(f *testing.F) {
+	for _, s := range []string{"", "0", "42", "-1", "+7", "999999999999999999999", "1e3", "0x10", " 5", "5 ", "héllo"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseCursor(s)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("ParseCursor(%q) accepted a negative offset %d", s, n)
+		}
+		back, err := ParseCursor(Cursor(n))
+		if err != nil {
+			t.Fatalf("Cursor(%d) = %q does not re-parse: %v", n, Cursor(n), err)
+		}
+		if back != n {
+			t.Fatalf("cursor round trip moved the offset: %d -> %q -> %d", n, Cursor(n), back)
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"warplda"
+	"warplda/internal/fsio"
 )
 
 // Sentinel errors, distinguishable with errors.Is. ErrLoading and
@@ -90,8 +91,13 @@ type Snapshot struct {
 	// Bytes is the snapshot's accounted resident size.
 	Bytes int64
 	// Version counts loads of this model name: 1 on first load,
-	// incremented by every hot reload and eviction-reload.
+	// incremented by every hot reload, eviction-reload, and delta fold.
 	Version int
+
+	// fp is the chain fingerprint of the snapshot's count state
+	// (fsio.ModelFingerprint for a file load, the delta's NewFP for a
+	// folded snapshot) — the value the next delta's BaseFP must match.
+	fp uint64
 }
 
 // entry states. An entry exists for every name ever acquired (plus
@@ -129,6 +135,21 @@ type entry struct {
 	failMtime time.Time
 	failIno   uint64
 
+	// Delta chain position of the resident snapshot: gen counts the
+	// WARPDLT deltas folded since the snapshot's file load (0 = the
+	// base itself); snap.fp holds the matching chain fingerprint. Reset
+	// by every file (re)load.
+	gen int64
+
+	// Negative cache for a rejected delta file: while <name>.dlt.<gen+1>
+	// keeps the identity that failed validation, the poller skips it
+	// without re-reading or re-counting the rejection. Cleared by every
+	// install and every successful fold.
+	rejGen   int64
+	rejSize  int64
+	rejMtime time.Time
+	rejIno   uint64
+
 	loadedAt time.Time
 	loadDur  time.Duration
 
@@ -162,6 +183,14 @@ type Registry struct {
 	warm         map[string]*warmEntry
 	prefetched   int64 // warm builds completed
 	prefetchHits int64 // loads answered from a warm snapshot
+
+	// Incremental-refresh accounting (see deltaScan): deltas folded
+	// into live engines, deltas rejected by chain validation, total
+	// fold wall time, and per-word alias tables rebuilt by folds.
+	deltasApplied int64
+	deltaRejected int64
+	foldDur       time.Duration
+	wordsRebuilt  int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -388,6 +417,9 @@ func (r *Registry) readAndBuild(name, path string) (*Snapshot, time.Duration, er
 		Model:  m,
 		Engine: eng,
 		Bytes:  m.SizeBytes() + eng.MemoryBytes(),
+		// The chain fingerprint anchors delta folding: the first delta's
+		// BaseFP must equal it. Computed here, off the registry lock.
+		fp: fsio.ModelFingerprint(m.V, m.Cfg.K, m.Cw, m.Ck),
 	}
 	if m.Vocab != nil {
 		snap.Vocab = make(map[string]int32, len(m.Vocab))
@@ -413,6 +445,10 @@ func (r *Registry) install(e *entry, snap *Snapshot, path string, fi os.FileInfo
 	e.loadDur = dur
 	e.lastErr = ""
 	e.failErr, e.failSize, e.failMtime, e.failIno = nil, 0, time.Time{}, 0
+	// A file (re)load is a chain base: generation 0, fingerprint of the
+	// loaded counts, no remembered delta rejection.
+	e.gen = 0
+	e.rejGen, e.rejSize, e.rejMtime, e.rejIno = 0, 0, time.Time{}, 0
 	r.bytes += snap.Bytes
 	if e.elem == nil {
 		e.elem = r.lru.PushFront(e)
@@ -561,6 +597,16 @@ func (r *Registry) pollOnce() {
 		// colder models to get back under it.
 		r.evictFor(0, e)
 		r.mu.Unlock()
+	}
+
+	// Incremental refresh LAST: a base that was just (re)loaded above
+	// starts a fresh chain, and any pending <name>.dlt.* files fold into
+	// whatever is resident now. Deltas apply only to bare names — a
+	// pinned <name>@<iter> is immutable by definition.
+	for _, c := range cands {
+		if !strings.Contains(c.name, "@") {
+			r.deltaScan(c.name)
+		}
 	}
 }
 

@@ -28,6 +28,11 @@ type ModelInfo struct {
 	Bytes   int64 `json:"bytes,omitempty"`
 	Version int   `json:"version,omitempty"`
 
+	// Generation is the resident snapshot's delta-chain position: 0
+	// right after a file load, g after folding WARPDLT deltas 1..g.
+	// Meaningful only when State == "ready".
+	Generation int64 `json:"generation"`
+
 	// Lifecycle counters. Hits counts Acquire calls answered from this
 	// entry; Loads counts successful (re)loads; Evictions counts LRU
 	// drops.
@@ -78,6 +83,17 @@ type Stats struct {
 	Prefetched   int64 `json:"prefetched"`
 	PrefetchHits int64 `json:"prefetch_hits"`
 	WarmReady    int   `json:"warm_ready"`
+	// Incremental refresh: DeltasApplied counts WARPDLT deltas folded
+	// into live engines; DeltaRejected counts delta files refused by
+	// chain validation (CRC, fingerprint, generation, dims, budget);
+	// FoldMs is the cumulative fold wall time (validate + count patch +
+	// touched-word alias rebuilds, all off the request path); and
+	// WordsRebuilt counts the per-word alias tables those folds rebuilt
+	// — the work a full reload would have paid V times per swap.
+	DeltasApplied int64   `json:"deltas_applied"`
+	DeltaRejected int64   `json:"delta_rejected"`
+	FoldMs        float64 `json:"fold_ms"`
+	WordsRebuilt  int64   `json:"words_rebuilt"`
 }
 
 func (e *entry) info() ModelInfo {
@@ -94,6 +110,7 @@ func (e *entry) info() ModelInfo {
 		mi.K = e.snap.Model.Cfg.K
 		mi.Bytes = e.snap.Bytes
 		mi.Version = e.snap.Version
+		mi.Generation = e.gen
 	}
 	if !e.loadedAt.IsZero() {
 		mi.LoadMs = float64(e.loadDur.Microseconds()) / 1000
@@ -221,5 +238,9 @@ func (r *Registry) RegistryStats() Stats {
 		Prefetched:    r.prefetched,
 		PrefetchHits:  r.prefetchHits,
 		WarmReady:     len(r.warm),
+		DeltasApplied: r.deltasApplied,
+		DeltaRejected: r.deltaRejected,
+		FoldMs:        float64(r.foldDur.Microseconds()) / 1000,
+		WordsRebuilt:  r.wordsRebuilt,
 	}
 }

@@ -1,0 +1,178 @@
+package train
+
+// Writer side of incremental model refresh. A DeltaChain tracks the
+// last-published count state of one publish target and, per checkpoint
+// interval, emits a WARPDLT delta file (internal/fsio) carrying only
+// the changed C_wk cells plus the new C_k vector, chained by
+// fingerprint and generation. The serving registry discovers the
+// files next to the published base snapshot, validates the chain, and
+// folds them into the live engine without a full reload.
+//
+// On-disk naming: generation g of model <name> in directory <dir> is
+//
+//	<dir>/<name>.dlt.<g>          (g = 1, 2, ... since the last base)
+//
+// A full (re)publish of <name> resets the chain: the trainer removes
+// every <name>.dlt.* BEFORE repointing the base, so a watching
+// registry can never fold a stale delta into a fresh base — at worst
+// it sees the old base with no deltas (keeps serving the folded state
+// it already built), then the repointed base (full reload, chain reset).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"warplda/internal/fsio"
+)
+
+// DeltaPath resolves a publish spec ("<dir>/<name>") and generation to
+// the delta file path <dir>/<name>.dlt.<gen>.
+func DeltaPath(spec string, gen int64) (string, error) {
+	if gen < 1 {
+		return "", fmt.Errorf("train: delta generation %d, want >= 1", gen)
+	}
+	base, name, err := PublishPath(spec)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(filepath.Dir(base), fmt.Sprintf("%s.dlt.%d", name, gen)), nil
+}
+
+// deltaSuffixRE matches the ".dlt.<gen>" tail of a delta file name,
+// applied after stripping the model name prefix.
+var deltaSuffixRE = regexp.MustCompile(`^\.dlt\.([0-9]+)$`)
+
+// DeltaFile is one discovered delta of a publish target.
+type DeltaFile struct {
+	Gen  int64
+	Path string
+}
+
+// ListDeltaFiles returns the delta files of model name in dir, sorted
+// by ascending generation. Files whose generation suffix does not
+// parse are ignored (they are not ours).
+func ListDeltaFiles(dir, name string) ([]DeltaFile, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("train: listing deltas: %w", err)
+	}
+	var out []DeltaFile
+	for _, de := range des {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), name) {
+			continue
+		}
+		m := deltaSuffixRE.FindStringSubmatch(de.Name()[len(name):])
+		if m == nil {
+			continue
+		}
+		gen, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil || gen < 1 {
+			continue
+		}
+		out = append(out, DeltaFile{Gen: gen, Path: filepath.Join(dir, de.Name())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Gen < out[j].Gen })
+	return out, nil
+}
+
+// RemoveDeltaFiles deletes every delta file of a publish target,
+// returning the removed paths. Callers MUST invoke it before
+// republishing the base snapshot (rebase): delete-then-repoint is what
+// keeps a concurrently polling registry from pairing a fresh base with
+// stale deltas.
+func RemoveDeltaFiles(spec string) ([]string, error) {
+	base, name, err := PublishPath(spec)
+	if err != nil {
+		return nil, err
+	}
+	files, err := ListDeltaFiles(filepath.Dir(base), name)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, f := range files {
+		if err := os.Remove(f.Path); err != nil {
+			return removed, fmt.Errorf("train: removing delta: %w", err)
+		}
+		removed = append(removed, f.Path)
+	}
+	return removed, nil
+}
+
+// DeltaChain emits the delta files of one publish target. It retains a
+// private copy of the last-published counts (the diff base), the chain
+// fingerprint, and the next generation number. Not safe for concurrent
+// use; the training loop publishes from one goroutine.
+type DeltaChain struct {
+	spec   string
+	v, k   int
+	gen    int64
+	fp     uint64
+	prevCw []int32
+	prevCk []int64
+}
+
+// NewDeltaChain starts a chain at the given base state — the counts of
+// the full snapshot just published under spec. The slices are copied.
+func NewDeltaChain(spec string, v, k int, cw []int32, ck []int64) (*DeltaChain, error) {
+	if _, _, err := PublishPath(spec); err != nil {
+		return nil, err
+	}
+	if v <= 0 || k <= 0 || len(cw) != v*k || len(ck) != k {
+		return nil, fmt.Errorf("train: delta chain base dims V=%d K=%d with %d/%d counts", v, k, len(cw), len(ck))
+	}
+	return &DeltaChain{
+		spec: spec, v: v, k: k,
+		fp:     fsio.ModelFingerprint(v, k, cw, ck),
+		prevCw: append([]int32(nil), cw...),
+		prevCk: append([]int64(nil), ck...),
+	}, nil
+}
+
+// Gen returns the number of deltas published so far (the generation of
+// the newest delta file; 0 right after the base).
+func (dc *DeltaChain) Gen() int64 { return dc.gen }
+
+// DeltaResult describes one published delta.
+type DeltaResult struct {
+	Path  string
+	Gen   int64
+	Cells int
+	Bytes int64
+}
+
+// Publish diffs the given counts against the chain's base, writes the
+// next-generation delta file atomically, and advances the chain. A
+// no-change snapshot still publishes (zero cells; the generation,
+// iteration, and log likelihood advance). On error the chain state is
+// unchanged and no file is installed.
+func (dc *DeltaChain) Publish(cw []int32, ck []int64, iter int64, logLik float64) (DeltaResult, error) {
+	if len(cw) != dc.v*dc.k || len(ck) != dc.k {
+		return DeltaResult{}, fmt.Errorf("train: delta publish dims %d/%d against a %d×%d chain", len(cw), len(ck), dc.v, dc.k)
+	}
+	d := &fsio.ModelDelta{
+		V: dc.v, K: dc.k, Gen: dc.gen + 1,
+		BaseFP: dc.fp, Iter: iter, LogLik: logLik,
+		Cells: fsio.DiffCounts(dc.v, dc.k, dc.prevCw, cw),
+		Ck:    append([]int64(nil), ck...),
+	}
+	d.NewFP = fsio.ChainFingerprint(d.BaseFP, d.Gen, d.Cells, d.Ck)
+	path, err := DeltaPath(dc.spec, d.Gen)
+	if err != nil {
+		return DeltaResult{}, err
+	}
+	n, err := fsio.AtomicWriteFile(path, ".warplda-dlt-*", d.WriteDelta)
+	if err != nil {
+		return DeltaResult{}, fmt.Errorf("train: writing delta %s: %w", path, err)
+	}
+	dc.gen = d.Gen
+	dc.fp = d.NewFP
+	copy(dc.prevCw, cw)
+	copy(dc.prevCk, ck)
+	return DeltaResult{Path: path, Gen: d.Gen, Cells: len(d.Cells), Bytes: n}, nil
+}

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"warplda/internal/fsio"
+)
+
+func TestDeltaPath(t *testing.T) {
+	p, err := DeltaPath(filepath.Join("pub", "news"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join("pub", "news.dlt.3"); p != want {
+		t.Fatalf("DeltaPath = %q, want %q", p, want)
+	}
+	if _, err := DeltaPath(filepath.Join("pub", "news"), 0); err == nil {
+		t.Fatal("DeltaPath accepted generation 0")
+	}
+	if _, err := DeltaPath(filepath.Join("pub", "bad/name.bin"), 1); err == nil {
+		t.Fatal("DeltaPath accepted an unservable spec")
+	}
+}
+
+func TestDeltaChainPublishAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "m")
+	const v, k = 5, 3
+	cw := []int32{
+		1, 0, 2,
+		0, 3, 0,
+		4, 0, 0,
+		0, 0, 5,
+		1, 1, 1,
+	}
+	ck := []int64{6, 4, 8}
+	dc, err := NewDeltaChain(spec, v, k, cw, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Gen() != 0 {
+		t.Fatalf("fresh chain Gen = %d", dc.Gen())
+	}
+
+	// Three intervals of simulated training, the middle one a no-op.
+	states := [][]int32{
+		append([]int32(nil), cw...),
+	}
+	cur := append([]int32(nil), cw...)
+	cur[0*k+1] += 2
+	cur[2*k+0] -= 1
+	states = append(states, append([]int32(nil), cur...))
+	states = append(states, append([]int32(nil), cur...)) // unchanged interval
+	cur2 := append([]int32(nil), cur...)
+	cur2[4*k+2] += 3
+	states = append(states, cur2)
+
+	ckOf := func(cw []int32) []int64 {
+		out := make([]int64, k)
+		for w := 0; w < v; w++ {
+			for t := 0; t < k; t++ {
+				out[t] += int64(cw[w*k+t])
+			}
+		}
+		return out
+	}
+	wantCells := []int{2, 0, 1}
+	for i, st := range states[1:] {
+		r, err := dc.Publish(st, ckOf(st), int64(10*(i+1)), -100-float64(i))
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if r.Gen != int64(i+1) {
+			t.Fatalf("publish %d: gen %d", i, r.Gen)
+		}
+		if r.Cells != wantCells[i] {
+			t.Fatalf("publish %d: %d cells, want %d", i, r.Cells, wantCells[i])
+		}
+	}
+
+	// Discover, verify the chain links, and replay onto the base.
+	files, err := ListDeltaFiles(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("found %d delta files, want 3", len(files))
+	}
+	fp := fsio.ModelFingerprint(v, k, cw, ck)
+	replayed := append([]int32(nil), cw...)
+	for i, f := range files {
+		if f.Gen != int64(i+1) {
+			t.Fatalf("delta %d has gen %d", i, f.Gen)
+		}
+		fh, err := os.Open(f.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := fsio.ReadDelta(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("reading delta %d: %v", i, err)
+		}
+		if d.BaseFP != fp {
+			t.Fatalf("delta %d baseFP %016x, chain fp %016x", i, d.BaseFP, fp)
+		}
+		if d.Gen != f.Gen {
+			t.Fatalf("delta %d: header gen %d, file name gen %d", i, d.Gen, f.Gen)
+		}
+		for _, c := range d.Cells {
+			replayed[int(c.W)*k+int(c.T)] += c.Add
+		}
+		fp = d.NewFP
+	}
+	for i := range replayed {
+		if replayed[i] != states[3][i] {
+			t.Fatalf("replayed counts diverge at %d: %d != %d", i, replayed[i], states[3][i])
+		}
+	}
+
+	removed, err := RemoveDeltaFiles(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %d delta files, want 3", len(removed))
+	}
+	if files, _ := ListDeltaFiles(dir, "m"); len(files) != 0 {
+		t.Fatalf("deltas survive removal: %v", files)
+	}
+}
+
+func TestListDeltaFilesIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"m.bin", "m@40.bin", "m.dlt.x", "m.dlt.", "m.dlt.0",
+		"other.dlt.1", "m2.dlt.1",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m.dlt.2"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := ListDeltaFiles(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Gen != 2 {
+		t.Fatalf("ListDeltaFiles = %+v, want just gen 2", files)
+	}
+}
+
+func TestDeltaChainValidation(t *testing.T) {
+	if _, err := NewDeltaChain(filepath.Join("d", "ok"), 2, 2, make([]int32, 3), make([]int64, 2)); err == nil {
+		t.Fatal("NewDeltaChain accepted mismatched Cw length")
+	}
+	dc, err := NewDeltaChain(filepath.Join(t.TempDir(), "ok"), 2, 2, make([]int32, 4), make([]int64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Publish(make([]int32, 5), make([]int64, 2), 1, 0); err == nil {
+		t.Fatal("Publish accepted mismatched dims")
+	}
+	if dc.Gen() != 0 {
+		t.Fatal("failed publish advanced the chain")
+	}
+}

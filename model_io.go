@@ -154,15 +154,29 @@ func readModelBody(r io.Reader) (*Model, error) {
 	m := &Model{
 		Cfg:    Config{K: int(k64), Alpha: alpha, Beta: beta},
 		V:      int(v64),
-		Cw:     make([]int32, v64*k64),
-		Ck:     make([]int64, k64),
 		LogLik: logLik,
 	}
-	if err := read(m.Cw); err != nil {
-		return nil, fmt.Errorf("warplda: reading counts: %w", err)
+	// The count matrices are read in bounded chunks so the allocation
+	// high-water mark tracks the bytes actually arriving: a truncated or
+	// hostile file whose header claims V×K = 2³¹ fails with a small
+	// footprint instead of committing gigabytes up front.
+	total := int(v64 * k64)
+	buf := make([]int32, minInt(total, modelAllocChunk))
+	m.Cw = make([]int32, 0, minInt(total, modelAllocChunk))
+	for len(m.Cw) < total {
+		n := minInt(total-len(m.Cw), len(buf))
+		if err := read(buf[:n]); err != nil {
+			return nil, fmt.Errorf("warplda: reading counts: %w", err)
+		}
+		m.Cw = append(m.Cw, buf[:n]...)
 	}
-	if err := read(m.Ck); err != nil {
-		return nil, fmt.Errorf("warplda: reading counts: %w", err)
+	m.Ck = make([]int64, 0, minInt(int(k64), modelAllocChunk))
+	for len(m.Ck) < int(k64) {
+		var c int64
+		if err := read(&c); err != nil {
+			return nil, fmt.Errorf("warplda: reading counts: %w", err)
+		}
+		m.Ck = append(m.Ck, c)
 	}
 	for i, c := range m.Cw {
 		if c < 0 {
@@ -181,8 +195,8 @@ func readModelBody(r io.Reader) (*Model, error) {
 	switch hasVocab {
 	case 0:
 	case 1:
-		m.Vocab = make([]string, v64)
-		for i := range m.Vocab {
+		m.Vocab = make([]string, 0, minInt(int(v64), modelAllocChunk))
+		for i := 0; i < int(v64); i++ {
 			var l int32
 			if err := read(&l); err != nil {
 				return nil, fmt.Errorf("warplda: reading vocabulary: %w", err)
@@ -190,16 +204,28 @@ func readModelBody(r io.Reader) (*Model, error) {
 			if l < 0 || l > 1<<20 {
 				return nil, fmt.Errorf("warplda: implausible word length %d", l)
 			}
-			buf := make([]byte, l)
-			if _, err := io.ReadFull(r, buf); err != nil {
+			wbuf := make([]byte, l)
+			if _, err := io.ReadFull(r, wbuf); err != nil {
 				return nil, fmt.Errorf("warplda: reading vocabulary: %w", err)
 			}
-			m.Vocab[i] = string(buf)
+			m.Vocab = append(m.Vocab, string(wbuf))
 		}
 	default:
 		return nil, fmt.Errorf("warplda: corrupt vocabulary flag %d", hasVocab)
 	}
 	return m, nil
+}
+
+// modelAllocChunk bounds how many count entries readModelBody allocates
+// ahead of the bytes actually read (the same defense fsio.ReadDelta
+// applies to WARPDLT files).
+const modelAllocChunk = 64 << 10
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // HeldOutPerplexity evaluates the model on unseen documents: each test

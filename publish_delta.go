@@ -1,0 +1,97 @@
+package warplda
+
+// Incremental publishing facade: the -publish-delta mode of
+// cmd/warplda-train and cmd/warplda-coordinator. A DeltaPublisher
+// turns a sequence of model snapshots into (a) one full versioned base
+// publish and (b) a chain of WARPDLT delta files a serving registry
+// folds into the live engine without a full reload — rebasing onto a
+// fresh full snapshot whenever the chain grows past MaxChain.
+
+import (
+	"fmt"
+
+	"warplda/internal/train"
+)
+
+// DeltaPublisher publishes successive snapshots of one model
+// incrementally. The first Publish call writes a full versioned
+// snapshot (<name>@<iter>.bin + latest pointer, exactly like -publish)
+// and starts a delta chain; each later call emits <name>.dlt.<gen>.
+// When the chain reaches MaxChain deltas, the next call rebases:
+// deltas are deleted first, then a fresh full snapshot is published
+// and a new chain starts — the delete-then-repoint order a polling
+// registry relies on. Not safe for concurrent use.
+type DeltaPublisher struct {
+	spec string
+	// MaxChain bounds the chain length before a rebase; <= 0 means 16.
+	// Longer chains mean cheaper publishes but a longer replay for a
+	// registry that starts cold.
+	maxChain int
+	// Keep is the PruneModelVersions retention applied after every full
+	// publish; <= 0 disables pruning.
+	keep  int
+	chain *train.DeltaChain
+}
+
+// NewDeltaPublisher validates the publish spec and returns a publisher
+// with an empty chain (the first Publish writes the base).
+func NewDeltaPublisher(spec string, maxChain, keep int) (*DeltaPublisher, error) {
+	if _, _, err := train.PublishPath(spec); err != nil {
+		return nil, err
+	}
+	if maxChain <= 0 {
+		maxChain = 16
+	}
+	return &DeltaPublisher{spec: spec, maxChain: maxChain, keep: keep}, nil
+}
+
+// DeltaPublishResult describes one incremental publish.
+type DeltaPublishResult struct {
+	// Path is the file installed: the versioned snapshot for a full
+	// publish, the delta file otherwise.
+	Path string
+	// Full reports a base (re)publish; Gen/Cells describe the delta
+	// otherwise (Gen is 1-based within the current chain).
+	Full  bool
+	Gen   int64
+	Cells int
+}
+
+// Publish installs snapshot m at iteration iter: the base snapshot on
+// the first call or on a rebase, a delta file otherwise.
+func (p *DeltaPublisher) Publish(m *Model, iter int) (DeltaPublishResult, error) {
+	if p.chain != nil && p.chain.Gen() < int64(p.maxChain) {
+		r, err := p.chain.Publish(m.Cw, m.Ck, int64(iter), m.LogLik)
+		if err != nil {
+			return DeltaPublishResult{}, err
+		}
+		return DeltaPublishResult{Path: r.Path, Gen: r.Gen, Cells: r.Cells}, nil
+	}
+	// Base publish (first call or rebase). Deltas of any previous chain
+	// go away BEFORE the base repoints, so a watcher never pairs the
+	// new base with them.
+	if _, err := train.RemoveDeltaFiles(p.spec); err != nil {
+		return DeltaPublishResult{}, err
+	}
+	vPath, _, err := train.VersionedPublishPath(p.spec, iter)
+	if err != nil {
+		return DeltaPublishResult{}, err
+	}
+	if _, err := m.WriteFile(vPath); err != nil {
+		return DeltaPublishResult{}, fmt.Errorf("warplda: publishing base snapshot: %w", err)
+	}
+	if _, err := train.PublishLatest(p.spec, iter); err != nil {
+		return DeltaPublishResult{}, err
+	}
+	if p.keep > 0 {
+		if _, err := train.PrunePublishedVersions(p.spec, p.keep); err != nil {
+			return DeltaPublishResult{}, err
+		}
+	}
+	chain, err := train.NewDeltaChain(p.spec, m.V, m.Cfg.K, m.Cw, m.Ck)
+	if err != nil {
+		return DeltaPublishResult{}, err
+	}
+	p.chain = chain
+	return DeltaPublishResult{Path: vPath, Full: true}, nil
+}
